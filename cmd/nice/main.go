@@ -1,0 +1,155 @@
+// Command nice runs the NICE checker on the built-in scenarios: the
+// paper's layer-2 ping workload and the eleven bug scenarios of §8.
+//
+// Usage:
+//
+//	nice -scenario bug-ii                 # find BUG-II, print the trace
+//	nice -scenario bug-vii -strategy flow-ir
+//	nice -scenario pingpong -pings 3      # exhaustive search, no properties
+//	nice -scenario bug-ix -mode walk -walks 100 -steps 50 -seed 7
+//	nice -list                            # enumerate scenarios
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice/internal/scenarios"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "", "scenario to check: pingpong or bug-i .. bug-xi")
+		strategy = flag.String("strategy", "pkt-seq", "search strategy: pkt-seq, no-delay, flow-ir, unusual")
+		pings    = flag.Int("pings", 2, "concurrent pings for the pingpong scenario")
+		mode     = flag.String("mode", "check", "check (full search) or walk (random walks)")
+		seed     = flag.Int64("seed", 1, "random-walk seed")
+		walks    = flag.Int("walks", 50, "number of random walks")
+		steps    = flag.Int("steps", 100, "max transitions per walk")
+		maxDepth = flag.Int("max-depth", 0, "override the execution depth bound")
+		maxTrans = flag.Int64("max-transitions", 0, "abort the search after this many transitions")
+		fixed    = flag.Bool("fixed", false, "check the repaired application instead")
+		all      = flag.Bool("all-violations", false, "keep searching past the first violation")
+		list     = flag.Bool("list", false, "list scenarios and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("scenarios:")
+		fmt.Println("  pingpong     §7 layer-2 ping workload (use -pings)")
+		for _, b := range scenarios.AllBugs {
+			fmt.Printf("  %-12s %s violating %s\n", strings.ToLower(b.String()), appOf(b), b.ExpectedProperty())
+		}
+		return
+	}
+
+	cfg, name, err := buildConfig(*scenario, *pings, *fixed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nice:", err)
+		os.Exit(2)
+	}
+	if err := applyStrategy(cfg, *scenario, *strategy); err != nil {
+		fmt.Fprintln(os.Stderr, "nice:", err)
+		os.Exit(2)
+	}
+	if *maxDepth > 0 {
+		cfg.MaxDepth = *maxDepth
+	}
+	if *maxTrans > 0 {
+		cfg.MaxTransitions = *maxTrans
+	}
+	if *all {
+		cfg.StopAtFirstViolation = false
+	}
+
+	var report *core.Report
+	switch *mode {
+	case "check":
+		report = core.NewChecker(cfg).Run()
+	case "walk":
+		report = core.RandomWalk(cfg, *seed, *walks, *steps)
+	default:
+		fmt.Fprintf(os.Stderr, "nice: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s (%s, %s): %d transitions, %d unique states, %d concolic runs, %v\n",
+		name, *strategy, *mode, report.Transitions, report.UniqueStates, report.SERuns, report.Elapsed)
+	if !report.Complete {
+		fmt.Println("search aborted at the transition budget (incomplete)")
+	}
+	if len(report.Violations) == 0 {
+		fmt.Println("no property violations found")
+		return
+	}
+	for i := range report.Violations {
+		fmt.Printf("\n--- violation %d ---\n%s", i+1, report.Violations[i].String())
+	}
+	os.Exit(1)
+}
+
+func buildConfig(name string, pings int, fixed bool) (*core.Config, string, error) {
+	switch strings.ToLower(name) {
+	case "pingpong":
+		return scenarios.PingPong(pings), fmt.Sprintf("pingpong(%d)", pings), nil
+	case "":
+		return nil, "", fmt.Errorf("missing -scenario (try -list)")
+	}
+	for _, b := range scenarios.AllBugs {
+		if strings.EqualFold(name, b.String()) || strings.EqualFold(name, strings.ToLower(b.String())) {
+			if fixed {
+				return scenarios.FixedConfig(b), b.String() + " (fixed app)", nil
+			}
+			return scenarios.BugConfig(b), b.String(), nil
+		}
+	}
+	return nil, "", fmt.Errorf("unknown scenario %q (try -list)", name)
+}
+
+func applyStrategy(cfg *core.Config, scenario, strategy string) error {
+	var s scenarios.Strategy
+	switch strings.ToLower(strategy) {
+	case "pkt-seq", "":
+		s = scenarios.PktSeqOnly
+	case "no-delay":
+		s = scenarios.NoDelay
+	case "flow-ir":
+		s = scenarios.FlowIR
+	case "unusual":
+		s = scenarios.Unusual
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	if strings.EqualFold(scenario, "pingpong") {
+		switch s {
+		case scenarios.NoDelay:
+			cfg.NoDelay = true
+		case scenarios.Unusual:
+			cfg.Unusual = true
+		case scenarios.FlowIR:
+			cfg.FlowGroupKey = scenarios.PingGroup
+		}
+		return nil
+	}
+	for _, b := range scenarios.AllBugs {
+		if strings.EqualFold(scenario, b.String()) {
+			scenarios.WithStrategy(cfg, b, s)
+			return nil
+		}
+	}
+	return nil
+}
+
+func appOf(b scenarios.Bug) string {
+	switch {
+	case b <= scenarios.BugIII:
+		return "pyswitch (MAC learning)"
+	case b <= scenarios.BugVII:
+		return "load balancer"
+	default:
+		return "energy-efficient TE"
+	}
+}

@@ -1,0 +1,150 @@
+// Custom-property example: write an application-specific correctness
+// property and check a hand-rolled controller with it.
+//
+// The paper's §5 lets programmers express correctness as "snippets of
+// Python code" with access to system state, transition callbacks and
+// local state. The Go equivalent is the nice.Property interface. This
+// example builds a tiny rate-limiter controller ("at most two flows may
+// be installed per switch") and a property that enforces the controller
+// keeps its promise, then lets NICE find the off-by-one.
+//
+//	go run ./examples/custom-property
+package main
+
+import (
+	"fmt"
+
+	"github.com/nice-go/nice"
+	"github.com/nice-go/nice/internal/canon"
+	"github.com/nice-go/nice/internal/openflow"
+	"github.com/nice-go/nice/internal/sym"
+)
+
+// limiterApp admits at most maxFlows destination MACs per switch and is
+// supposed to drop everything beyond that. Its bug: the admission check
+// uses > instead of >=, so it installs one rule too many. The
+// known-destination test goes through sym.LookupEth, so discover_packets
+// finds one packet class per admitted destination plus the
+// new-destination class — the inputs that drive the limiter to its edge.
+type limiterApp struct {
+	nice.BaseApp
+	maxFlows int
+	flows    map[nice.SwitchID]map[nice.EthAddr]bool
+}
+
+func newLimiter(max int) *limiterApp {
+	return &limiterApp{maxFlows: max, flows: make(map[nice.SwitchID]map[nice.EthAddr]bool)}
+}
+
+func (a *limiterApp) Name() string { return "limiter" }
+
+func (a *limiterApp) Clone() nice.App {
+	c := newLimiter(a.maxFlows)
+	for sw, set := range a.flows {
+		m := make(map[nice.EthAddr]bool, len(set))
+		for k, v := range set {
+			m[k] = v
+		}
+		c.flows[sw] = m
+	}
+	return c
+}
+
+func (a *limiterApp) StateKey() string { return canon.String(a.flows) }
+
+func (a *limiterApp) SwitchJoin(_ *nice.Context, sw nice.SwitchID) {
+	if a.flows[sw] == nil {
+		a.flows[sw] = make(map[nice.EthAddr]bool)
+	}
+}
+
+func (a *limiterApp) PacketIn(ctx *nice.Context, sw nice.SwitchID, pkt *nice.SymPacket,
+	buf openflow.BufferID, _ openflow.PacketInReason) {
+
+	if _, known := sym.LookupEth(ctx.Trace(), a.flows[sw], pkt.EthDst()); known {
+		ctx.PacketOut(sw, buf, openflow.Output(2))
+		return
+	}
+	// BUG: admits when len == maxFlows (one too many); should be >=.
+	if len(a.flows[sw]) > a.maxFlows {
+		ctx.PacketOut(sw, buf, openflow.Drop())
+		return
+	}
+	dst := nice.EthAddr(pkt.EthDst().C)
+	a.flows[sw][dst] = true
+	ctx.InstallRule(sw, openflow.Rule{
+		Priority: 10,
+		Match:    openflow.MatchAll().With(openflow.FieldEthDst, uint64(dst)),
+		Actions:  []openflow.Action{openflow.Output(2)},
+	})
+	ctx.PacketOut(sw, buf, openflow.Output(2))
+}
+
+// flowBudget is the custom property: no switch's flow table may ever
+// hold more than Max learned rules. It shows the three ingredients of
+// §5.1 — event callbacks, access to global state, and local state.
+type flowBudget struct {
+	Max  int
+	peak int // local state: high-water mark, for the violation message
+}
+
+func (p *flowBudget) Name() string { return "FlowBudget" }
+
+func (p *flowBudget) Clone() nice.Property { c := *p; return &c }
+
+func (p *flowBudget) OnEvents(sys *nice.System, events []nice.Event) error {
+	for _, e := range events {
+		if e.Kind != nice.EvRuleInstalled && e.Kind != nice.EvRuleDeleted {
+			continue
+		}
+		// Inspect global system state directly.
+		n := sys.Switch(e.Sw).Table.Len()
+		if n > p.peak {
+			p.peak = n
+		}
+		if n > p.Max {
+			return fmt.Errorf("switch %v holds %d rules, budget is %d (peak %d)",
+				e.Sw, n, p.Max, p.peak)
+		}
+	}
+	return nil
+}
+
+func (p *flowBudget) AtQuiescence(*nice.System) error { return nil }
+
+func (p *flowBudget) StateKey() string { return fmt.Sprintf("peak=%d", p.peak) }
+
+func main() {
+	topology, aID, bID := nice.SingleSwitch()
+	a := topology.Host(aID)
+
+	// Three distinct destinations force three admission decisions; the
+	// discovered packet classes come from symbolic execution of the
+	// handler (each mactable/admission branch is one class).
+	seed := nice.Header{EthSrc: a.MAC, EthDst: topology.Host(bID).MAC,
+		EthType: nice.EthTypeIPv4, Payload: "flow"}
+
+	cfg := &nice.Config{
+		Topo:                 topology,
+		App:                  newLimiter(2),
+		Hosts:                []*nice.Host{nice.NewClient(a, 4, 0, seed)},
+		Properties:           []nice.Property{&flowBudget{Max: 2}},
+		StopAtFirstViolation: true,
+		Domains: nice.DomainHints{
+			Overrides: map[nice.Field][]uint64{
+				nice.FieldEthSrc: {uint64(a.MAC)},
+				nice.FieldIPSrc:  {uint64(a.IP)},
+			},
+		},
+	}
+
+	report := nice.Check(cfg)
+	fmt.Printf("searched %d transitions, %d states (%v)\n\n",
+		report.Transitions, report.UniqueStates, report.Elapsed)
+	if v := report.FirstViolation(); v != nil {
+		fmt.Print(v)
+		fmt.Println("\nthe admission check admits one flow too many (>= vs >).")
+	} else {
+		fmt.Println("no violation found")
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Violation is one property failure: what failed, why, and the
+// transition sequence that deterministically reproduces it from the
+// initial state (the paper's output: "property violations along with the
+// traces to deterministically reproduce them", §1.3).
+type Violation struct {
+	Property string
+	Err      error
+	Trace    []Transition
+	// Quiescence marks violations detected at an execution's end state
+	// rather than on a transition.
+	Quiescence bool
+}
+
+func (v Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "violation of %s: %v\n", v.Property, v.Err)
+	if v.Quiescence {
+		b.WriteString("(detected at quiescence)\n")
+	}
+	b.WriteString("trace:\n")
+	for i, t := range v.Trace {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, t.Key())
+	}
+	return b.String()
+}
+
+// Report summarizes one search.
+type Report struct {
+	// Transitions counts executed transitions (edges explored).
+	Transitions int64
+	// UniqueStates counts distinct state hashes reached.
+	UniqueStates int64
+	// Revisits counts arrivals at an already-explored state.
+	Revisits int64
+	// Truncated counts paths cut off by the depth bound.
+	Truncated int64
+	// SERuns counts concolic explorations (discover transitions that
+	// missed the cache).
+	SERuns int64
+	// Violations lists the property failures found (deduplicated by
+	// property + error text; each carries the first trace seen).
+	Violations []Violation
+	// Elapsed is wall-clock search time.
+	Elapsed time.Duration
+	// Complete is false when MaxTransitions aborted the search.
+	Complete bool
+}
+
+// FirstViolation returns the first recorded violation, or nil.
+func (r *Report) FirstViolation() *Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return &r.Violations[0]
+}
+
+// Checker runs state-space searches over a Config.
+type Checker struct {
+	cfg    *Config
+	caches *caches
+
+	explored map[string]bool
+	report   *Report
+	seenViol map[string]bool
+	stopped  bool
+}
+
+// NewChecker prepares a search.
+func NewChecker(cfg *Config) *Checker {
+	return &Checker{cfg: cfg, caches: newCaches()}
+}
+
+// Run performs the full depth-first search from the initial state and
+// returns the report. It follows Figure 5 of the paper: explore enabled
+// transitions, hash-match states, arm discover transitions, check
+// properties after every transition and at quiescent states.
+func (c *Checker) Run() *Report {
+	c.explored = make(map[string]bool)
+	c.report = &Report{Complete: true}
+	c.seenViol = make(map[string]bool)
+	c.stopped = false
+	start := time.Now()
+
+	root := newSystem(c.cfg, c.caches)
+	c.dfs(root, nil)
+
+	c.report.SERuns = c.caches.seRuns
+	c.report.Elapsed = time.Since(start)
+	return c.report
+}
+
+func (c *Checker) dfs(sys *System, trace []Transition) {
+	if c.stopped {
+		return
+	}
+	h := sys.Hash()
+	if c.explored[h] {
+		c.report.Revisits++
+		return
+	}
+	c.explored[h] = true
+	c.report.UniqueStates++
+
+	enabled := sys.Enabled()
+	if len(enabled) == 0 {
+		for _, p := range sys.Properties() {
+			if err := p.AtQuiescence(sys); err != nil {
+				c.recordViolation(Violation{Property: p.Name(), Err: err,
+					Trace: cloneTrace(trace), Quiescence: true})
+				if c.stopped {
+					return
+				}
+			}
+		}
+		return
+	}
+	if len(trace) >= c.cfg.maxDepth() {
+		c.report.Truncated++
+		return
+	}
+
+	for _, t := range enabled {
+		if c.stopped {
+			return
+		}
+		if c.cfg.MaxTransitions > 0 && c.report.Transitions >= c.cfg.MaxTransitions {
+			c.report.Complete = false
+			return
+		}
+		child := sys.Clone()
+		events := child.Apply(t)
+		c.report.Transitions++
+		next := append(trace[:len(trace):len(trace)], t)
+
+		violated := false
+		for _, p := range child.Properties() {
+			if err := p.OnEvents(child, events); err != nil {
+				c.recordViolation(Violation{Property: p.Name(), Err: err, Trace: next})
+				violated = true
+			}
+		}
+		if violated {
+			// The paper's checker saves the error and trace and does
+			// not explore past a violating state.
+			continue
+		}
+		c.dfs(child, next)
+	}
+}
+
+func (c *Checker) recordViolation(v Violation) {
+	key := v.Property + "|" + v.Err.Error()
+	if !c.seenViol[key] {
+		c.seenViol[key] = true
+		c.report.Violations = append(c.report.Violations, v)
+	}
+	if c.cfg.StopAtFirstViolation {
+		c.stopped = true
+	}
+}
+
+func cloneTrace(trace []Transition) []Transition {
+	return append([]Transition(nil), trace...)
+}
+
+// Replay re-executes a recorded trace from a fresh initial state,
+// returning the final system and the events of the last transition.
+// Determinism of the components guarantees the same states arise (§6);
+// tests assert this by comparing hashes.
+func (c *Checker) Replay(trace []Transition) (*System, []Event) {
+	sys := newSystem(c.cfg, c.caches)
+	var last []Event
+	for _, t := range trace {
+		last = sys.Apply(t)
+	}
+	return sys, last
+}
+
+// ReplayWithProperties re-executes a trace while feeding property
+// observers, returning the violation reproduced by the final transition
+// (or at quiescence), if any.
+func (c *Checker) ReplayWithProperties(trace []Transition) (*System, *Violation) {
+	sys := newSystem(c.cfg, c.caches)
+	for i, t := range trace {
+		events := sys.Apply(t)
+		for _, p := range sys.Properties() {
+			if err := p.OnEvents(sys, events); err != nil {
+				return sys, &Violation{Property: p.Name(), Err: err,
+					Trace: cloneTrace(trace[:i+1])}
+			}
+		}
+	}
+	if sys.Quiescent() {
+		for _, p := range sys.Properties() {
+			if err := p.AtQuiescence(sys); err != nil {
+				return sys, &Violation{Property: p.Name(), Err: err,
+					Trace: cloneTrace(trace), Quiescence: true}
+			}
+		}
+	}
+	return sys, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/nice-go/nice/internal/openflow"
+	"github.com/nice-go/nice/internal/topo"
+)
+
+// EventKind enumerates the observable events a transition can produce.
+// Correctness properties register for these (§5.1: properties "register
+// callbacks invoked by NICE to observe important transitions").
+type EventKind int
+
+const (
+	// EvHostSend: a host injected a packet into the network.
+	EvHostSend EventKind = iota
+	// EvDelivered: a packet reached a host.
+	EvDelivered
+	// EvHostMove: a mobile host relocated.
+	EvHostMove
+	// EvArrive: a packet was enqueued on a switch ingress channel.
+	EvArrive
+	// EvProcessed: a switch processed a packet (Note holds the matched
+	// rule key, "" for a table miss).
+	EvProcessed
+	// EvPacketIn: a switch sent a packet_in to the controller.
+	EvPacketIn
+	// EvBuffered: a packet was parked in the switch buffer.
+	EvBuffered
+	// EvReleased: a buffered packet was released by packet_out.
+	EvReleased
+	// EvDropped: a packet was discarded by an explicit (controller-
+	// sanctioned) drop action.
+	EvDropped
+	// EvVanished: a packet was output on a port with nothing attached —
+	// an immediate black hole.
+	EvVanished
+	// EvCopied: flooding or multi-output duplicated a packet.
+	EvCopied
+	// EvCtrlInject: the controller injected a crafted packet
+	// (packet_out without a buffer).
+	EvCtrlInject
+	// EvRuleInstalled / EvRuleDeleted: flow-table changes.
+	EvRuleInstalled
+	EvRuleDeleted
+	// EvCtrlDispatch: the controller executed a handler for a message.
+	EvCtrlDispatch
+	// EvStats: the controller processed a stats reply (Stats holds the
+	// concrete values used).
+	EvStats
+	// EvEnv: an environment event was applied.
+	EvEnv
+	// EvRuleExpired: a flow rule timed out (optional extension).
+	EvRuleExpired
+	// EvFaultDropped / EvFaultDuplicated / EvFaultReordered are the
+	// fault model's environment events; packets lost or created by the
+	// environment are accounted to it, not to the controller.
+	EvFaultDropped
+	EvFaultDuplicated
+	EvFaultReordered
+	// EvLinkDown / EvSwitchDown: topology faults.
+	EvLinkDown
+	EvSwitchDown
+)
+
+var eventNames = map[EventKind]string{
+	EvHostSend: "host_send", EvDelivered: "delivered", EvHostMove: "host_move",
+	EvArrive: "arrive", EvProcessed: "processed", EvPacketIn: "packet_in",
+	EvBuffered: "buffered", EvReleased: "released", EvDropped: "dropped",
+	EvVanished: "vanished", EvCopied: "copied", EvCtrlInject: "ctrl_inject",
+	EvRuleInstalled: "rule_installed", EvRuleDeleted: "rule_deleted",
+	EvCtrlDispatch: "ctrl_dispatch", EvStats: "stats", EvEnv: "env",
+	EvRuleExpired: "rule_expired", EvFaultDropped: "fault_dropped",
+	EvFaultDuplicated: "fault_duplicated", EvFaultReordered: "fault_reordered",
+	EvLinkDown: "link_down", EvSwitchDown: "switch_down",
+}
+
+func (k EventKind) String() string {
+	if n, ok := eventNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one observable occurrence. Unused fields stay zero.
+type Event struct {
+	Kind  EventKind
+	Host  openflow.HostID
+	Sw    openflow.SwitchID
+	Port  openflow.PortID
+	Pkt   openflow.Packet
+	Rule  openflow.Rule
+	Msg   openflow.Msg
+	Loc   topo.PortKey
+	Stats []openflow.PortStats
+	Note  string
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvHostSend:
+		return fmt.Sprintf("%v: %v sends (%s) at %v", e.Kind, e.Host, e.Pkt.Header, e.Loc)
+	case EvDelivered:
+		return fmt.Sprintf("%v: (%s) to %v at %v", e.Kind, e.Pkt.Header, e.Host, e.Loc)
+	case EvHostMove:
+		return fmt.Sprintf("%v: %v -> %v", e.Kind, e.Host, e.Loc)
+	case EvArrive:
+		return fmt.Sprintf("%v: (%s) at %v:%v", e.Kind, e.Pkt.Header, e.Sw, e.Port)
+	case EvProcessed:
+		return fmt.Sprintf("%v: %v (%s) rule=%q", e.Kind, e.Sw, e.Pkt.Header, e.Note)
+	case EvPacketIn:
+		return fmt.Sprintf("%v: %v port=%v (%s) reason=%s", e.Kind, e.Sw, e.Port, e.Pkt.Header, e.Msg.Reason)
+	case EvRuleInstalled:
+		return fmt.Sprintf("%v: %v %s", e.Kind, e.Sw, e.Rule)
+	case EvStats:
+		return fmt.Sprintf("%v: %v %v", e.Kind, e.Sw, e.Stats)
+	default:
+		return fmt.Sprintf("%v: sw=%v host=%v (%s) %s", e.Kind, e.Sw, e.Host, e.Pkt.Header, e.Note)
+	}
+}
+
+// Property is a pluggable correctness property (§5): it observes every
+// transition's events, may inspect global system state, keeps local
+// state (cloned along with the system as the search forks), and reports
+// violations by returning a non-nil error. AtQuiescence runs on states
+// with no enabled transitions — the "safe time" many definitions wait
+// for to stay robust to in-flight delays (§5.2).
+type Property interface {
+	Name() string
+	Clone() Property
+	OnEvents(sys *System, events []Event) error
+	AtQuiescence(sys *System) error
+	// StateKey folds the property's local state into the system hash so
+	// state matching never merges states the property distinguishes.
+	StateKey() string
+}

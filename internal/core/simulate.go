@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Simulator drives manually-chosen, step-by-step system executions — the
+// paper's "manually-driven, step-by-step system executions or random
+// walks on system states" mode (§1.3).
+type Simulator struct {
+	cfg    *Config
+	caches *caches
+	sys    *System
+	trace  []Transition
+}
+
+// NewSimulator boots a system for interactive stepping.
+func NewSimulator(cfg *Config) *Simulator {
+	cc := newCaches()
+	return &Simulator{cfg: cfg, caches: cc, sys: newSystem(cfg, cc)}
+}
+
+// System exposes the current state.
+func (s *Simulator) System() *System { return s.sys }
+
+// Enabled lists the currently enabled transitions.
+func (s *Simulator) Enabled() []Transition { return s.sys.Enabled() }
+
+// Trace returns the transitions executed so far.
+func (s *Simulator) Trace() []Transition { return cloneTrace(s.trace) }
+
+// Step executes enabled transition i, returning its events and any
+// property violation it caused.
+func (s *Simulator) Step(i int) ([]Event, *Violation, error) {
+	enabled := s.sys.Enabled()
+	if i < 0 || i >= len(enabled) {
+		return nil, nil, fmt.Errorf("core: transition index %d out of range (0..%d)", i, len(enabled)-1)
+	}
+	t := enabled[i]
+	events := s.sys.Apply(t)
+	s.trace = append(s.trace, t)
+	for _, p := range s.sys.Properties() {
+		if err := p.OnEvents(s.sys, events); err != nil {
+			return events, &Violation{Property: p.Name(), Err: err, Trace: s.Trace()}, nil
+		}
+	}
+	return events, nil, nil
+}
+
+// Reset returns the simulator to the initial state.
+func (s *Simulator) Reset() {
+	s.sys = newSystem(s.cfg, s.caches)
+	s.trace = nil
+}
+
+// RandomWalk performs seeded random executions: walks of at most
+// maxSteps transitions, restarting from the initial state, until the
+// step budget is spent or a violation is found. It returns a report in
+// the same shape as a full search (UniqueStates counts distinct hashes
+// seen across walks).
+func RandomWalk(cfg *Config, seed int64, walks, maxSteps int) *Report {
+	rng := rand.New(rand.NewSource(seed))
+	cc := newCaches()
+	report := &Report{Complete: true}
+	seen := make(map[string]bool)
+	seenViol := make(map[string]bool)
+
+	for w := 0; w < walks; w++ {
+		sys := newSystem(cfg, cc)
+		var trace []Transition
+		for step := 0; step < maxSteps; step++ {
+			h := sys.Hash()
+			if !seen[h] {
+				seen[h] = true
+				report.UniqueStates++
+			}
+			enabled := sys.Enabled()
+			if len(enabled) == 0 {
+				for _, p := range sys.Properties() {
+					if err := p.AtQuiescence(sys); err != nil {
+						key := p.Name() + "|" + err.Error()
+						if !seenViol[key] {
+							seenViol[key] = true
+							report.Violations = append(report.Violations, Violation{
+								Property: p.Name(), Err: err,
+								Trace: cloneTrace(trace), Quiescence: true,
+							})
+						}
+					}
+				}
+				break
+			}
+			t := enabled[rng.Intn(len(enabled))]
+			events := sys.Apply(t)
+			report.Transitions++
+			trace = append(trace, t)
+			violated := false
+			for _, p := range sys.Properties() {
+				if err := p.OnEvents(sys, events); err != nil {
+					key := p.Name() + "|" + err.Error()
+					if !seenViol[key] {
+						seenViol[key] = true
+						report.Violations = append(report.Violations, Violation{
+							Property: p.Name(), Err: err, Trace: cloneTrace(trace),
+						})
+					}
+					violated = true
+				}
+			}
+			if violated {
+				break
+			}
+		}
+	}
+	report.SERuns = cc.seRuns
+	return report
+}

@@ -1,0 +1,751 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/nice-go/nice/internal/canon"
+	"github.com/nice-go/nice/internal/controller"
+	"github.com/nice-go/nice/internal/hosts"
+	"github.com/nice-go/nice/internal/openflow"
+	"github.com/nice-go/nice/internal/sym"
+	"github.com/nice-go/nice/internal/topo"
+)
+
+// caches hold the results of discover transitions. They are shared
+// across the whole search (not cloned with states): concolic execution
+// is deterministic given the controller state, so the cache is a pure
+// memo of Figure 5's client.packets map, keyed by the stringified
+// controller state.
+type caches struct {
+	packets map[string][]openflow.Header      // host|loc|appKey → relevant packets
+	stats   map[string][][]openflow.PortStats // sw|appKey → stats variants
+	seRuns  int64                             // concolic explorations performed
+}
+
+func newCaches() *caches {
+	return &caches{
+		packets: make(map[string][]openflow.Header),
+		stats:   make(map[string][][]openflow.PortStats),
+	}
+}
+
+// System is one explored state of the modelled network: switches,
+// controller runtime (application + channels), hosts and property
+// observers. Systems are deep-copied as the search forks and hashed for
+// the explored-state set.
+type System struct {
+	cfg    *Config
+	caches *caches
+
+	switches map[openflow.SwitchID]*openflow.Switch
+	swIDs    []openflow.SwitchID
+	ctrl     *controller.Runtime
+	hosts    map[openflow.HostID]*hosts.Host
+	hostIDs  []openflow.HostID
+	alloc    *openflow.IDAlloc
+	props    []Property
+
+	// lastGroup is the FLOW-IR scheduling mark: the effective flow
+	// group of the last packet-sending (or grouped environment)
+	// transition. Groups below it are suppressed, fixing one relative
+	// order between independent groups.
+	lastGroup string
+	// groupCounts numbers flow instances per group key (a packet whose
+	// GroupKeyFunc reports newInstance bumps its key's counter).
+	groupCounts map[string]int
+	// faults tracks the per-execution fault-budget usage.
+	faults faultState
+}
+
+// NewSystem builds the initial state: switches constructed from the
+// topology, hosts cloned from their prototypes, and the application
+// booted by dispatching a switch_join per switch, with all resulting
+// messages applied synchronously (the network is fully joined before
+// exploration starts; see DESIGN.md).
+func NewSystem(cfg *Config) *System {
+	return newSystem(cfg, newCaches())
+}
+
+func newSystem(cfg *Config, cc *caches) *System {
+	if cfg.Topo == nil || cfg.App == nil {
+		panic("core: Config.Topo and Config.App are required")
+	}
+	s := &System{
+		cfg:         cfg,
+		caches:      cc,
+		switches:    make(map[openflow.SwitchID]*openflow.Switch),
+		ctrl:        controller.NewRuntime(cfg.App.Clone()),
+		hosts:       make(map[openflow.HostID]*hosts.Host),
+		alloc:       openflow.NewIDAlloc(),
+		groupCounts: make(map[string]int),
+	}
+	for _, spec := range cfg.Topo.Switches() {
+		s.switches[spec.ID] = openflow.NewSwitch(spec.ID, spec.Ports)
+		s.swIDs = append(s.swIDs, spec.ID)
+	}
+	sort.Slice(s.swIDs, func(i, j int) bool { return s.swIDs[i] < s.swIDs[j] })
+	for _, h := range cfg.Hosts {
+		hc := h.Clone()
+		s.hosts[hc.ID] = hc
+		s.hostIDs = append(s.hostIDs, hc.ID)
+	}
+	sort.Slice(s.hostIDs, func(i, j int) bool { return s.hostIDs[i] < s.hostIDs[j] })
+	for _, p := range cfg.Properties {
+		s.props = append(s.props, p.Clone())
+	}
+
+	// Port link state: a port is up when a switch-switch link or a
+	// host is attached. Flooding covers up ports only.
+	for _, spec := range cfg.Topo.Switches() {
+		for _, p := range spec.Ports {
+			if _, ok := cfg.Topo.Peer(topo.PortKey{Sw: spec.ID, Port: p}); ok {
+				s.switches[spec.ID].SetPortUp(p, true)
+			}
+		}
+	}
+	for _, id := range s.hostIDs {
+		h := s.hosts[id]
+		s.switches[h.Loc.Sw].SetPortUp(h.Loc.Port, true)
+	}
+
+	// Boot: all switches join, and the join handlers' output (e.g. the
+	// TE application's initial routing rules) applies synchronously.
+	var boot []Event
+	for _, id := range s.swIDs {
+		s.ctrl.Dispatch(openflow.Msg{Type: openflow.MsgSwitchJoin, Switch: id})
+	}
+	s.drainControllerChannels(&boot, true)
+	for _, p := range s.props {
+		if err := p.OnEvents(s, boot); err != nil {
+			panic(fmt.Sprintf("core: property %s violated during boot: %v", p.Name(), err))
+		}
+	}
+	return s
+}
+
+// Clone deep-copies the state (sharing the immutable config and the
+// monotonic discover caches).
+func (s *System) Clone() *System {
+	c := &System{
+		cfg:         s.cfg,
+		caches:      s.caches,
+		switches:    make(map[openflow.SwitchID]*openflow.Switch, len(s.switches)),
+		swIDs:       s.swIDs,
+		ctrl:        s.ctrl.Clone(),
+		hosts:       make(map[openflow.HostID]*hosts.Host, len(s.hosts)),
+		hostIDs:     s.hostIDs,
+		alloc:       s.alloc.Clone(),
+		lastGroup:   s.lastGroup,
+		groupCounts: make(map[string]int, len(s.groupCounts)),
+		faults:      s.faults,
+	}
+	for k, v := range s.groupCounts {
+		c.groupCounts[k] = v
+	}
+	for id, sw := range s.switches {
+		c.switches[id] = sw.Clone()
+	}
+	for id, h := range s.hosts {
+		c.hosts[id] = h.Clone()
+	}
+	c.props = make([]Property, len(s.props))
+	for i, p := range s.props {
+		c.props[i] = p.Clone()
+	}
+	return c
+}
+
+// Switch exposes a switch to properties and tooling.
+func (s *System) Switch(id openflow.SwitchID) *openflow.Switch { return s.switches[id] }
+
+// SwitchIDs lists switches in sorted order.
+func (s *System) SwitchIDs() []openflow.SwitchID { return s.swIDs }
+
+// Host exposes a host's dynamic state.
+func (s *System) Host(id openflow.HostID) *hosts.Host { return s.hosts[id] }
+
+// HostIDs lists hosts in sorted order.
+func (s *System) HostIDs() []openflow.HostID { return s.hostIDs }
+
+// Controller exposes the controller runtime.
+func (s *System) Controller() *controller.Runtime { return s.ctrl }
+
+// Config exposes the checking configuration.
+func (s *System) Config() *Config { return s.cfg }
+
+// Properties exposes this state's property instances.
+func (s *System) Properties() []Property { return s.props }
+
+// StateKey renders the full system state canonically.
+func (s *System) StateKey() string {
+	var b strings.Builder
+	hashCounters := s.cfg.HashCounters || s.cfg.NoSwitchReduction
+	for _, id := range s.swIDs {
+		b.WriteString(s.switches[id].StateKey(s.cfg.canonicalTables(), hashCounters))
+		b.WriteByte('\n')
+	}
+	b.WriteString(s.ctrl.StateKey())
+	b.WriteByte('\n')
+	for _, id := range s.hostIDs {
+		b.WriteString(s.hosts[id].StateKey())
+		b.WriteByte('\n')
+	}
+	for _, p := range s.props {
+		b.WriteString(p.Name())
+		b.WriteByte(':')
+		b.WriteString(p.StateKey())
+		b.WriteByte('\n')
+	}
+	// The relevant-packet caches gate which transitions are enabled
+	// (discover vs send), so cache presence for the *current* state is
+	// part of its identity — mirroring Figure 5's client.packets map.
+	if !s.cfg.DisableSE {
+		for _, id := range s.hostIDs {
+			h := s.hosts[id]
+			if pkts, ok := s.caches.packets[s.packetsKey(h)]; ok {
+				fmt.Fprintf(&b, "se:%d=%d\n", int(id), len(pkts))
+			}
+		}
+		for _, id := range s.swIDs {
+			if vs, ok := s.caches.stats[s.statsKey(id)]; ok {
+				fmt.Fprintf(&b, "ses:%d=%d\n", int(id), len(vs))
+			}
+		}
+	}
+	fmt.Fprintf(&b, "fg:%s %s %s", s.lastGroup, canon.String(s.groupCounts), s.faults.key())
+	return b.String()
+}
+
+// Hash returns the compact digest used by the explored-state set
+// (hash-based state matching, §6).
+func (s *System) Hash() string { return canon.HashString(s.StateKey()) }
+
+func (s *System) packetsKey(h *hosts.Host) string {
+	return fmt.Sprintf("%d|%v|%s", int(h.ID), h.Loc, s.ctrl.AppKey())
+}
+
+func (s *System) statsKey(sw openflow.SwitchID) string {
+	return fmt.Sprintf("%d|%s", int(sw), s.ctrl.AppKey())
+}
+
+// Enabled enumerates the enabled transitions in deterministic order,
+// already filtered and ordered by the active search strategies.
+func (s *System) Enabled() []Transition {
+	var ts []Transition
+
+	// Host transitions.
+	for _, id := range s.hostIDs {
+		h := s.hosts[id]
+		if h.CanSend() {
+			if s.cfg.DisableSE {
+				for _, hdr := range h.NextRepertoire() {
+					ts = append(ts, Transition{Kind: THostSend, Host: id, Hdr: hdr})
+				}
+			} else if pkts, ok := s.caches.packets[s.packetsKey(h)]; ok {
+				for _, hdr := range pkts {
+					ts = append(ts, Transition{Kind: THostSend, Host: id, Hdr: hdr})
+				}
+			} else {
+				ts = append(ts, Transition{Kind: THostDiscover, Host: id})
+			}
+		}
+		if h.CanReply() {
+			ts = append(ts, Transition{Kind: THostReply, Host: id, Hdr: h.PendingReplies[0]})
+		}
+		if len(h.MoveTargets) > 0 {
+			ts = append(ts, Transition{Kind: THostMove, Host: id, MoveTo: h.MoveTargets[0]})
+		}
+	}
+
+	// Controller transitions.
+	for _, sw := range s.ctrl.PendingIn() {
+		head, _ := s.ctrl.HeadIn(sw)
+		if head.Type == openflow.MsgStatsReply && !s.cfg.DisableSE && !s.cfg.NoDelay {
+			if variants, ok := s.caches.stats[s.statsKey(sw)]; ok {
+				for _, v := range variants {
+					ts = append(ts, Transition{Kind: TCtrlProcessStats, Sw: sw, Stats: v})
+				}
+			} else {
+				ts = append(ts, Transition{Kind: TCtrlDiscoverStats, Sw: sw})
+			}
+			continue
+		}
+		ts = append(ts, Transition{Kind: TCtrlDispatch, Sw: sw})
+	}
+
+	// Environment transitions.
+	if env, ok := s.ctrl.App.(controller.EnvApp); ok {
+		for _, name := range env.EnvEvents() {
+			ts = append(ts, Transition{Kind: TCtrlEnv, Env: name})
+		}
+	}
+
+	// Switch transitions.
+	for _, id := range s.swIDs {
+		sw := s.switches[id]
+		if !sw.Alive {
+			continue
+		}
+		if s.cfg.MicroSteps {
+			for _, p := range sw.PendingPorts() {
+				ts = append(ts, Transition{Kind: TSwitchProcessPort, Sw: id, Port: p})
+			}
+		} else if len(sw.PendingPorts()) > 0 {
+			ts = append(ts, Transition{Kind: TSwitchProcess, Sw: id})
+		}
+		if head, ok := s.ctrl.HeadOut(id); ok {
+			ts = append(ts, Transition{Kind: TSwitchOF, Sw: id, seq: head.Seq})
+		}
+		if s.cfg.EnableTimers && sw.Table.Len() > 0 {
+			ts = append(ts, Transition{Kind: TSwitchTick, Sw: id})
+		}
+	}
+
+	ts = append(ts, s.faultTransitions()...)
+	ts = s.applyFlowIR(ts)
+	ts = s.applyUnusual(ts)
+	return ts
+}
+
+// applyFlowIR suppresses packet-sending (and grouped environment)
+// transitions whose effective flow group precedes the scheduling mark,
+// exploring exactly one relative ordering between independent groups
+// (§4 FLOW-IR).
+func (s *System) applyFlowIR(ts []Transition) []Transition {
+	if s.cfg.FlowGroupKey == nil {
+		return ts
+	}
+	out := ts[:0]
+	for _, t := range ts {
+		switch t.Kind {
+		case THostSend, THostReply:
+			if s.effectiveGroup(t.Hdr, false) < s.lastGroup {
+				continue
+			}
+		case TCtrlEnv:
+			if s.cfg.EnvGroupKey != nil && s.cfg.EnvGroupKey(t.Env) < s.lastGroup {
+				continue
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// effectiveGroup computes a header's instanced group key; when advance
+// is true a new-instance packet bumps its key's counter first.
+func (s *System) effectiveGroup(hdr openflow.Header, advance bool) string {
+	key, newInstance := s.cfg.FlowGroupKey(hdr)
+	n := s.groupCounts[key]
+	if newInstance {
+		if advance {
+			s.groupCounts[key] = n + 1
+		}
+		n++
+	}
+	return fmt.Sprintf("%s#%04d", key, n)
+}
+
+// applyUnusual reorders exploration so that unusual delays come first:
+// packet and host transitions before controller→switch deliveries, and
+// deliveries in reverse issue order across switches (§4 UNUSUAL). It is
+// a depth-first priority, not a filter — full searches still cover every
+// ordering; violation hunts reach races much sooner.
+func (s *System) applyUnusual(ts []Transition) []Transition {
+	if !s.cfg.Unusual {
+		return ts
+	}
+	sort.SliceStable(ts, func(i, j int) bool {
+		pi, pj := unusualClass(ts[i]), unusualClass(ts[j])
+		if pi != pj {
+			return pi < pj
+		}
+		if ts[i].Kind == TSwitchOF && ts[j].Kind == TSwitchOF {
+			return ts[i].seq > ts[j].seq // most recently issued first
+		}
+		return false
+	})
+	return ts
+}
+
+func unusualClass(t Transition) int {
+	switch t.Kind {
+	case TSwitchOF:
+		return 2
+	case TCtrlDispatch, TCtrlProcessStats, TCtrlDiscoverStats:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Quiescent reports whether the state has no enabled transitions.
+func (s *System) Quiescent() bool { return len(s.Enabled()) == 0 }
+
+// Apply executes one transition in place, returning its events.
+func (s *System) Apply(t Transition) []Event {
+	var events []Event
+	switch t.Kind {
+	case THostSend:
+		h := s.hosts[t.Host]
+		h.ConsumeSend()
+		s.markGroup(t.Hdr)
+		s.inject(t.Host, t.Hdr, &events)
+	case THostReply:
+		h := s.hosts[t.Host]
+		hdr := h.TakeReply()
+		s.markGroup(hdr)
+		s.inject(t.Host, hdr, &events)
+	case THostDiscover:
+		h := s.hosts[t.Host]
+		key := s.packetsKey(h)
+		if _, ok := s.caches.packets[key]; !ok {
+			s.caches.packets[key] = s.discoverPackets(h)
+		}
+		events = append(events, Event{Kind: EvCtrlDispatch, Host: t.Host,
+			Note: fmt.Sprintf("discover_packets: %d classes", len(s.caches.packets[key]))})
+	case THostMove:
+		h := s.hosts[t.Host]
+		old := h.Loc
+		loc, ok := h.Move()
+		if !ok {
+			panic("core: move transition on immobile host")
+		}
+		// The vacated port goes down (unless a link or another host
+		// still occupies it); the new port comes up.
+		if !s.portOccupied(old) {
+			s.switches[old.Sw].SetPortUp(old.Port, false)
+			s.notifyPortStatus(old, false)
+		}
+		s.switches[loc.Sw].SetPortUp(loc.Port, true)
+		s.notifyPortStatus(loc, true)
+		events = append(events, Event{Kind: EvHostMove, Host: t.Host, Loc: loc})
+	case TCtrlDispatch:
+		msg, ok := s.ctrl.PopIn(t.Sw)
+		if !ok {
+			panic("core: ctrl_dispatch with empty channel")
+		}
+		events = append(events, Event{Kind: EvCtrlDispatch, Sw: t.Sw, Msg: msg})
+		s.ctrl.Dispatch(msg)
+		s.noDelayFixpoint(&events)
+	case TCtrlDiscoverStats:
+		key := s.statsKey(t.Sw)
+		if _, ok := s.caches.stats[key]; !ok {
+			s.caches.stats[key] = s.discoverStats(t.Sw)
+		}
+		events = append(events, Event{Kind: EvCtrlDispatch, Sw: t.Sw,
+			Note: fmt.Sprintf("discover_stats: %d classes", len(s.caches.stats[key]))})
+	case TCtrlProcessStats:
+		msg, ok := s.ctrl.PopIn(t.Sw)
+		if !ok || msg.Type != openflow.MsgStatsReply {
+			panic("core: process_stats without pending stats reply")
+		}
+		events = append(events, Event{Kind: EvStats, Sw: t.Sw, Stats: t.Stats})
+		s.ctrl.DispatchStats(t.Sw, t.Stats)
+		s.noDelayFixpoint(&events)
+	case TCtrlEnv:
+		events = append(events, Event{Kind: EvEnv, Note: t.Env})
+		s.markEnvGroup(t.Env)
+		s.ctrl.DispatchEnv(t.Env)
+		if s.cfg.AtomicEnv {
+			s.drainOutbound(&events)
+		}
+		s.noDelayFixpoint(&events)
+	case TSwitchProcess:
+		sw := s.switches[t.Sw]
+		res := sw.ProcessPackets(s.alloc)
+		s.route(t.Sw, res, &events)
+		s.noDelayFixpoint(&events)
+	case TSwitchProcessPort:
+		sw := s.switches[t.Sw]
+		res, ok := sw.ProcessPacketOnPort(t.Port, s.alloc)
+		if !ok {
+			panic("core: process_pkt_port with empty channel")
+		}
+		s.route(t.Sw, res, &events)
+		s.noDelayFixpoint(&events)
+	case TSwitchOF:
+		msg, ok := s.ctrl.PopOut(t.Sw)
+		if !ok {
+			panic("core: process_of with empty channel")
+		}
+		res := s.switches[t.Sw].ApplyOF(msg, s.alloc)
+		s.route(t.Sw, res, &events)
+		s.noDelayFixpoint(&events)
+	case TSwitchTick:
+		for _, r := range s.switches[t.Sw].ExpireTimers() {
+			events = append(events, Event{Kind: EvRuleExpired, Sw: t.Sw, Rule: r})
+		}
+	case TFaultDrop, TFaultDuplicate, TFaultReorder, TFaultLinkDown, TFaultSwitchDown:
+		events = s.applyFault(t)
+	default:
+		panic(fmt.Sprintf("core: unknown transition %v", t.Kind))
+	}
+	return events
+}
+
+// portOccupied reports whether anything (link or host) is still attached
+// to a port.
+func (s *System) portOccupied(k topo.PortKey) bool {
+	if _, ok := s.cfg.Topo.Peer(k); ok {
+		return true
+	}
+	for _, id := range s.hostIDs {
+		if s.hosts[id].Loc == k {
+			return true
+		}
+	}
+	return false
+}
+
+// notifyPortStatus sends a port_status event to the controller when the
+// configuration asks for it.
+func (s *System) notifyPortStatus(k topo.PortKey, up bool) {
+	if !s.cfg.EnablePortStatus {
+		return
+	}
+	s.ctrl.DeliverToController(openflow.Msg{
+		Type: openflow.MsgPortStatus, Switch: k.Sw, InPort: k.Port, PortUp: up,
+	})
+}
+
+func (s *System) markGroup(hdr openflow.Header) {
+	if s.cfg.FlowGroupKey != nil {
+		s.lastGroup = s.effectiveGroup(hdr, true)
+	}
+}
+
+func (s *System) markEnvGroup(event string) {
+	if s.cfg.FlowGroupKey != nil && s.cfg.EnvGroupKey != nil {
+		s.lastGroup = s.cfg.EnvGroupKey(event)
+	}
+}
+
+// inject places a host-sent packet on the ingress channel at the host's
+// current location.
+func (s *System) inject(host openflow.HostID, hdr openflow.Header, events *[]Event) {
+	h := s.hosts[host]
+	id := s.alloc.Next()
+	pkt := openflow.Packet{Header: hdr, ID: id, Orig: id}
+	*events = append(*events, Event{Kind: EvHostSend, Host: host, Pkt: pkt, Loc: h.Loc})
+	sw := s.switches[h.Loc.Sw]
+	sw.Enqueue(h.Loc.Port, pkt)
+	*events = append(*events, Event{Kind: EvArrive, Sw: h.Loc.Sw, Port: h.Loc.Port, Pkt: pkt})
+}
+
+// route applies a switch's processing effects to the rest of the system:
+// controller messages onto the OpenFlow channel, egress packets onto
+// links, hosts, or the void.
+func (s *System) route(swID openflow.SwitchID, res openflow.ProcResult, events *[]Event) {
+	for _, pkt := range res.Dropped {
+		*events = append(*events, Event{Kind: EvDropped, Sw: swID, Pkt: pkt})
+	}
+	for _, pkt := range res.Copies {
+		*events = append(*events, Event{Kind: EvCopied, Sw: swID, Pkt: pkt})
+	}
+	for _, pkt := range res.Injected {
+		*events = append(*events, Event{Kind: EvCtrlInject, Sw: swID, Pkt: pkt})
+	}
+	for _, pkt := range res.Buffered {
+		*events = append(*events, Event{Kind: EvBuffered, Sw: swID, Pkt: pkt})
+	}
+	for _, pkt := range res.Released {
+		*events = append(*events, Event{Kind: EvReleased, Sw: swID, Pkt: pkt})
+	}
+	for _, key := range res.Matched {
+		*events = append(*events, Event{Kind: EvProcessed, Sw: swID, Note: key})
+	}
+	for _, r := range res.InstalledRules {
+		*events = append(*events, Event{Kind: EvRuleInstalled, Sw: swID, Rule: r})
+	}
+	if res.DeletedRules > 0 {
+		*events = append(*events, Event{Kind: EvRuleDeleted, Sw: swID,
+			Note: fmt.Sprintf("%d", res.DeletedRules)})
+	}
+	for _, m := range res.ToController {
+		if m.Type == openflow.MsgPacketIn {
+			*events = append(*events, Event{Kind: EvPacketIn, Sw: swID, Port: m.InPort,
+				Pkt: m.Packet, Msg: m})
+		}
+		s.ctrl.DeliverToController(m)
+	}
+	for _, out := range res.Outputs {
+		s.deliver(swID, out, events)
+	}
+}
+
+// deliver resolves one egress: a switch-switch link, a host at the
+// far end, or nothing (an immediate black hole).
+func (s *System) deliver(swID openflow.SwitchID, out openflow.PortOutput, events *[]Event) {
+	here := topo.PortKey{Sw: swID, Port: out.Port}
+	if peer, ok := s.cfg.Topo.Peer(here); ok {
+		if !s.switches[peer.Sw].Alive {
+			// The far end is a failed switch: environment loss.
+			*events = append(*events, Event{Kind: EvFaultDropped, Sw: peer.Sw,
+				Port: peer.Port, Pkt: out.Pkt})
+			return
+		}
+		s.switches[peer.Sw].Enqueue(peer.Port, out.Pkt)
+		*events = append(*events, Event{Kind: EvArrive, Sw: peer.Sw, Port: peer.Port, Pkt: out.Pkt})
+		return
+	}
+	for _, id := range s.hostIDs {
+		h := s.hosts[id]
+		if h.Loc == here {
+			h.Receive(out.Pkt.Header)
+			*events = append(*events, Event{Kind: EvDelivered, Host: id, Pkt: out.Pkt, Loc: here})
+			return
+		}
+	}
+	*events = append(*events, Event{Kind: EvVanished, Sw: swID, Port: out.Port, Pkt: out.Pkt})
+}
+
+// noDelayFixpoint implements NO-DELAY (§4): after any transition that
+// put messages on a controller channel, drain both directions to
+// completion so the exchange is atomic and the system runs in lock step.
+func (s *System) noDelayFixpoint(events *[]Event) {
+	if !s.cfg.NoDelay {
+		return
+	}
+	s.drainControllerChannels(events, false)
+}
+
+// drainOutbound applies all currently queued controller→switch messages
+// (and only those) within the current transition.
+func (s *System) drainOutbound(events *[]Event) {
+	for _, sw := range s.ctrl.PendingOut() {
+		for {
+			msg, ok := s.ctrl.PopOut(sw)
+			if !ok {
+				break
+			}
+			res := s.switches[sw].ApplyOF(msg, s.alloc)
+			s.route(sw, res, events)
+		}
+	}
+}
+
+// drainControllerChannels applies all pending controller→switch messages
+// and dispatches all pending switch→controller messages until both
+// directions are empty. During boot (boot=true) this runs regardless of
+// strategy so join-time rule setup completes before exploration.
+func (s *System) drainControllerChannels(events *[]Event, boot bool) {
+	for {
+		progress := false
+		for _, sw := range s.ctrl.PendingOut() {
+			for {
+				msg, ok := s.ctrl.PopOut(sw)
+				if !ok {
+					break
+				}
+				res := s.switches[sw].ApplyOF(msg, s.alloc)
+				s.route(sw, res, events)
+				progress = true
+			}
+		}
+		for _, sw := range s.ctrl.PendingIn() {
+			msg, ok := s.ctrl.PopIn(sw)
+			if !ok {
+				continue
+			}
+			*events = append(*events, Event{Kind: EvCtrlDispatch, Sw: sw, Msg: msg})
+			s.ctrl.Dispatch(msg)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+		_ = boot
+	}
+}
+
+// discoverPackets runs the concolic engine over the packet_in handler
+// from the client's context (its switch and ingress port), returning the
+// representative packet of every feasible handler path — Figure 4's
+// "new relevant packets". Handler effects land on a cloned application
+// and are discarded.
+func (s *System) discoverPackets(h *hosts.Host) []openflow.Header {
+	s.caches.seRuns++
+	loc := h.Loc
+	seed := h.Seed
+	seedAsn := sym.SymbolicPacket(seed, loc.Port).CurrentAssignment()
+	explorer := &sym.Explorer{
+		Domains:  s.cfg.fieldDomains(),
+		Bits:     s.cfg.fieldBits(),
+		MaxPaths: s.cfg.MaxSEPaths,
+	}
+	// The reason code is a one-bit handler input that is not a packet
+	// field; explore the handler under both values and pool the
+	// discovered classes.
+	seen := make(map[openflow.Header]bool)
+	var out []openflow.Header
+	for _, reason := range []openflow.PacketInReason{openflow.ReasonNoMatch, openflow.ReasonAction} {
+		results := explorer.Explore(seedAsn, func(tr *sym.Trace, asn sym.Assignment) {
+			pkt := sym.SymbolicPacket(seed, loc.Port)
+			pkt.ApplyAssignment(asn)
+			app := s.ctrl.App.Clone()
+			ctx := controller.NewSymContext(tr)
+			app.PacketIn(ctx, loc.Sw, pkt, openflow.BufferNone, reason)
+		})
+		for _, r := range results {
+			pkt := sym.SymbolicPacket(seed, loc.Port)
+			pkt.ApplyAssignment(r.Assignment)
+			hdr := pkt.Header()
+			if !seen[hdr] {
+				seen[hdr] = true
+				out = append(out, hdr)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// discoverStats runs the concolic engine over the statistics handler
+// with symbolic counters, returning one concrete stats vector per
+// feasible path (§3.3's discover_stats).
+func (s *System) discoverStats(swID openflow.SwitchID) [][]openflow.PortStats {
+	s.caches.seRuns++
+	ports := s.switches[swID].Ports
+	levels := s.cfg.statsLevels()
+	seedVals := make([]uint64, len(ports))
+	for i := range seedVals {
+		seedVals[i] = levels[0]
+	}
+	seedStats := sym.SymbolicStats(ports, seedVals)
+	seedAsn := make(sym.Assignment)
+	for i, p := range ports {
+		seedAsn[sym.StatVarName(p)] = seedVals[i]
+	}
+	domains := make(map[string][]uint64, len(ports))
+	for _, p := range ports {
+		domains[sym.StatVarName(p)] = levels
+	}
+	explorer := &sym.Explorer{Domains: domains, MaxPaths: s.cfg.MaxSEPaths, MineDomains: true}
+	results := explorer.Explore(seedAsn, func(tr *sym.Trace, asn sym.Assignment) {
+		st := sym.SymbolicStats(ports, seedVals)
+		st.ApplyAssignment(asn)
+		app := s.ctrl.App.Clone()
+		ctx := controller.NewSymContext(tr)
+		app.StatsReply(ctx, swID, st)
+	})
+	seen := make(map[string]bool)
+	var out [][]openflow.PortStats
+	for _, r := range results {
+		st := sym.SymbolicStats(ports, seedVals)
+		st.ApplyAssignment(r.Assignment)
+		conc := st.Concrete()
+		key := fmt.Sprintf("%v", conc)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, conc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprintf("%v", out[i]) < fmt.Sprintf("%v", out[j])
+	})
+	_ = seedStats
+	return out
+}

@@ -1,0 +1,93 @@
+package openflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ActionType enumerates the forwarding actions of the simplified switch
+// model: forwarding, flooding, dropping, sending to the controller, and
+// header rewriting (§1.1 lists exactly this action vocabulary).
+type ActionType int
+
+const (
+	// ActionOutput forwards the packet out of Action.Port.
+	ActionOutput ActionType = iota
+	// ActionFlood forwards a copy out of every port except the ingress.
+	ActionFlood
+	// ActionDrop discards the packet. An empty action list also drops,
+	// but an explicit drop makes rules self-describing.
+	ActionDrop
+	// ActionController buffers the packet and sends a packet_in with
+	// reason ReasonAction to the controller.
+	ActionController
+	// ActionSetField rewrites header field Action.Field to Action.Value
+	// before subsequent actions apply.
+	ActionSetField
+)
+
+// Action is one element of a rule's (or packet_out's) action list.
+// Actions apply in list order; rewrites affect later outputs only.
+type Action struct {
+	Type  ActionType
+	Port  PortID // for ActionOutput
+	Field Field  // for ActionSetField
+	Value uint64 // for ActionSetField
+}
+
+// Output returns a forward-out-of-port action.
+func Output(p PortID) Action { return Action{Type: ActionOutput, Port: p} }
+
+// Flood returns the flood action.
+func Flood() Action { return Action{Type: ActionFlood} }
+
+// Drop returns the explicit drop action.
+func Drop() Action { return Action{Type: ActionDrop} }
+
+// ToController returns the send-to-controller action.
+func ToController() Action { return Action{Type: ActionController} }
+
+// SetField returns a header-rewrite action.
+func SetField(f Field, v uint64) Action {
+	return Action{Type: ActionSetField, Field: f, Value: v}
+}
+
+func (a Action) String() string {
+	switch a.Type {
+	case ActionOutput:
+		return fmt.Sprintf("output:%d", int(a.Port))
+	case ActionFlood:
+		return "flood"
+	case ActionDrop:
+		return "drop"
+	case ActionController:
+		return "controller"
+	case ActionSetField:
+		return fmt.Sprintf("set(%v=%d)", a.Field, a.Value)
+	default:
+		return fmt.Sprintf("action(%d)", int(a.Type))
+	}
+}
+
+// ActionsKey renders an action list canonically (list order is semantic,
+// so the key preserves it).
+func ActionsKey(actions []Action) string {
+	if len(actions) == 0 {
+		return "drop"
+	}
+	parts := make([]string, len(actions))
+	for i, a := range actions {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// CloneActions deep-copies an action list.
+func CloneActions(actions []Action) []Action {
+	if actions == nil {
+		return nil
+	}
+	out := make([]Action, len(actions))
+	copy(out, actions)
+	return out
+}

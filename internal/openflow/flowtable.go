@@ -1,0 +1,227 @@
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Permanent marks a timeout that never fires (the PERMANENT constant of
+// the NOX API used in the paper's Figure 3).
+const Permanent = 0
+
+// Rule is one flow-table entry: a pattern, a priority, an action list,
+// timeouts and traffic counters (§1.1).
+type Rule struct {
+	Priority int
+	Match    Match
+	Actions  []Action
+	// IdleTimeout (soft timeout) and HardTimeout are in model ticks;
+	// Permanent (0) disables them. Timer expiry is an optional
+	// environment transition — see DESIGN.md §2(6).
+	IdleTimeout int
+	HardTimeout int
+
+	// Counters (bytes approximated as packets × 100, enough for the
+	// stats handlers to branch on).
+	PacketCount uint64
+	ByteCount   uint64
+	// Age counts elapsed expiry ticks; IdleAge counts ticks since the
+	// rule last matched a packet.
+	Age     int
+	IdleAge int
+}
+
+// CloneRule deep-copies a rule.
+func (r Rule) CloneRule() Rule {
+	r.Actions = CloneActions(r.Actions)
+	return r
+}
+
+// Key renders the rule canonically, excluding counters (counters are
+// bookkeeping, not semantics; see FlowTable.CanonicalKey).
+func (r Rule) Key() string {
+	return fmt.Sprintf("prio=%d match=[%s] actions=[%s] idle=%d hard=%d",
+		r.Priority, r.Match.Key(), ActionsKey(r.Actions), r.IdleTimeout, r.HardTimeout)
+}
+
+func (r Rule) String() string { return r.Key() }
+
+// FlowTable stores a switch's rules. Rules are kept in insertion order;
+// lookups use priority with a canonical tie-break so behaviour is
+// insertion-order independent, which is what makes the canonical hashed
+// representation (§2.2.2 "Merging equivalent flow tables") semantically
+// safe: two tables holding the same rule set behave identically no matter
+// the order rules arrived in.
+type FlowTable struct {
+	rules []Rule
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable { return &FlowTable{} }
+
+// Clone deep-copies the table.
+func (t *FlowTable) Clone() *FlowTable {
+	c := &FlowTable{rules: make([]Rule, len(t.rules))}
+	for i, r := range t.rules {
+		c.rules[i] = r.CloneRule()
+	}
+	return c
+}
+
+// Len returns the number of installed rules.
+func (t *FlowTable) Len() int { return len(t.rules) }
+
+// Rules returns the rules in insertion order. The returned slice aliases
+// the table; callers must not mutate it.
+func (t *FlowTable) Rules() []Rule { return t.rules }
+
+// Install applies FlowAdd semantics: a rule with an identical match and
+// priority is cleared and the new rule appended (actions and timeouts
+// refreshed, counters reset). The list order therefore reflects arrival
+// order — which is exactly the semantically irrelevant detail the
+// canonical representation neutralizes and the NO-SWITCH-REDUCTION
+// baseline of Table 1 hashes verbatim.
+func (t *FlowTable) Install(r Rule) {
+	r = r.CloneRule()
+	t.deleteWhere(func(old Rule) bool {
+		return old.Priority == r.Priority && old.Match.Equal(r.Match)
+	})
+	t.rules = append(t.rules, r)
+}
+
+// Delete applies loose-delete semantics: every rule whose match is
+// subsumed by pattern is removed, regardless of priority. It returns the
+// number of rules removed.
+func (t *FlowTable) Delete(pattern Match) int {
+	return t.deleteWhere(func(r Rule) bool { return pattern.Subsumes(r.Match) })
+}
+
+// DeleteStrict removes only rules with exactly this match and priority.
+func (t *FlowTable) DeleteStrict(pattern Match, priority int) int {
+	return t.deleteWhere(func(r Rule) bool {
+		return r.Priority == priority && r.Match.Equal(pattern)
+	})
+}
+
+func (t *FlowTable) deleteWhere(pred func(Rule) bool) int {
+	kept := t.rules[:0]
+	removed := 0
+	for _, r := range t.rules {
+		if pred(r) {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rules = kept
+	return removed
+}
+
+// Lookup returns the highest-priority rule matching the header on inPort
+// ("the switch selects the highest-priority matching rule", §1.1). Ties
+// between overlapping same-priority rules — behaviour OpenFlow leaves
+// undefined — resolve by canonical match key, so lookup is deterministic
+// and insertion-order independent. The returned index addresses
+// t.Rules(); ok is false on a table miss.
+func (t *FlowTable) Lookup(h Header, inPort PortID) (idx int, ok bool) {
+	best := -1
+	for i, r := range t.rules {
+		if !r.Match.Matches(h, inPort) {
+			continue
+		}
+		if best == -1 || ruleLess(r, t.rules[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}
+
+// ruleLess orders rules for lookup and canonicalization: higher priority
+// first, then canonical match key, then action key.
+func ruleLess(a, b Rule) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	ak, bk := a.Match.Key(), b.Match.Key()
+	if ak != bk {
+		return ak < bk
+	}
+	return ActionsKey(a.Actions) < ActionsKey(b.Actions)
+}
+
+// Hit updates rule idx's counters for one matched packet.
+func (t *FlowTable) Hit(idx int) {
+	t.rules[idx].PacketCount++
+	t.rules[idx].ByteCount += 100
+	t.rules[idx].IdleAge = 0
+}
+
+// Tick advances rule ages by one expiry tick and removes rules whose idle
+// or hard timeout has elapsed, returning the expired rules. This backs
+// the optional timer-expiry environment transition.
+func (t *FlowTable) Tick() []Rule {
+	var expired []Rule
+	kept := t.rules[:0]
+	for _, r := range t.rules {
+		r.Age++
+		r.IdleAge++
+		if (r.HardTimeout != Permanent && r.Age >= r.HardTimeout) ||
+			(r.IdleTimeout != Permanent && r.IdleAge >= r.IdleTimeout) {
+			expired = append(expired, r)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rules = kept
+	return expired
+}
+
+// CanonicalKey is the canonical representation of the table used for
+// state hashing: the sorted multiset of rule keys. Two tables holding the
+// same rules in different insertion orders produce identical keys —
+// the state-space reduction measured by Table 1 of the paper.
+//
+// If includeCounters is true, per-rule counters are appended; the
+// NO-SWITCH-REDUCTION ablation uses InsertionOrderKey instead.
+func (t *FlowTable) CanonicalKey(includeCounters bool) string {
+	keys := make([]string, len(t.rules))
+	for i, r := range t.rules {
+		keys[i] = t.ruleStateKey(r, includeCounters)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// InsertionOrderKey serializes rules in raw insertion order. Using it in
+// place of CanonicalKey reproduces the paper's NO-SWITCH-REDUCTION
+// baseline, where semantically equivalent tables hash differently.
+func (t *FlowTable) InsertionOrderKey(includeCounters bool) string {
+	keys := make([]string, len(t.rules))
+	for i, r := range t.rules {
+		keys[i] = t.ruleStateKey(r, includeCounters)
+	}
+	return strings.Join(keys, "|")
+}
+
+func (t *FlowTable) ruleStateKey(r Rule, includeCounters bool) string {
+	if includeCounters {
+		return fmt.Sprintf("%s n=%d b=%d age=%d idle=%d",
+			r.Key(), r.PacketCount, r.ByteCount, r.Age, r.IdleAge)
+	}
+	return r.Key()
+}
+
+func (t *FlowTable) String() string {
+	if len(t.rules) == 0 {
+		return "<empty>"
+	}
+	keys := make([]string, len(t.rules))
+	for i, r := range t.rules {
+		keys[i] = r.Key()
+	}
+	return strings.Join(keys, "\n")
+}

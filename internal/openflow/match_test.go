@@ -1,0 +1,236 @@
+package openflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func hdrAB() Header {
+	return Header{
+		EthSrc: MakeEthAddr(0, 0, 0, 0, 0, 2), EthDst: MakeEthAddr(0, 0, 0, 0, 0, 4),
+		EthType: EthTypeIPv4, IPSrc: MakeIPAddr(10, 0, 0, 1), IPDst: MakeIPAddr(10, 0, 0, 2),
+		IPProto: IPProtoTCP, TPSrc: 1234, TPDst: 80,
+	}
+}
+
+func TestMatchAllMatchesEverything(t *testing.T) {
+	m := MatchAll()
+	if !m.Matches(hdrAB(), 1) {
+		t.Error("MatchAll did not match a TCP packet")
+	}
+	if !m.Matches(Header{EthType: EthTypeARP}, 7) {
+		t.Error("MatchAll did not match an ARP packet")
+	}
+	if m.Key() != "*" {
+		t.Errorf("MatchAll key = %q", m.Key())
+	}
+}
+
+func TestMatchExactField(t *testing.T) {
+	m := MatchAll().With(FieldEthSrc, uint64(MakeEthAddr(0, 0, 0, 0, 0, 2)))
+	if !m.Matches(hdrAB(), 1) {
+		t.Error("exact src match failed")
+	}
+	other := hdrAB()
+	other.EthSrc = MakeEthAddr(0, 0, 0, 0, 0, 9)
+	if m.Matches(other, 1) {
+		t.Error("matched packet with different src")
+	}
+}
+
+func TestMatchInPort(t *testing.T) {
+	m := MatchAll().With(FieldInPort, 3)
+	if !m.Matches(hdrAB(), 3) {
+		t.Error("in-port match failed")
+	}
+	if m.Matches(hdrAB(), 4) {
+		t.Error("in-port mismatch matched")
+	}
+}
+
+func TestMatchIPPrefix(t *testing.T) {
+	m := MatchAll().WithIPSrcPrefix(MakeIPAddr(10, 0, 0, 0), 8)
+	if !m.Matches(hdrAB(), 1) {
+		t.Error("10/8 did not match 10.0.0.1")
+	}
+	far := hdrAB()
+	far.IPSrc = MakeIPAddr(192, 168, 0, 1)
+	if m.Matches(far, 1) {
+		t.Error("10/8 matched 192.168.0.1")
+	}
+	// /1 halves partition the space.
+	low := MatchAll().WithIPSrcPrefix(0, 1)
+	high := MatchAll().WithIPSrcPrefix(MakeIPAddr(128, 0, 0, 0), 1)
+	if !low.Matches(hdrAB(), 1) || high.Matches(hdrAB(), 1) {
+		t.Error("/1 halves misclassified 10.0.0.1")
+	}
+}
+
+func TestMatchPrefixPanics(t *testing.T) {
+	for _, bits := range []int{0, 33, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("prefix %d did not panic", bits)
+				}
+			}()
+			MatchAll().WithIPSrcPrefix(0, bits)
+		}()
+	}
+}
+
+func TestUnmatchableFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("With(FieldTCPFlags) did not panic")
+		}
+	}()
+	MatchAll().With(FieldTCPFlags, 1)
+}
+
+func TestExactMatchIsExact(t *testing.T) {
+	m := ExactMatch(hdrAB(), 2)
+	if !m.IsExact() {
+		t.Error("ExactMatch not exact")
+	}
+	if !m.Matches(hdrAB(), 2) {
+		t.Error("ExactMatch does not match its own packet")
+	}
+	if m.Matches(hdrAB(), 3) {
+		t.Error("ExactMatch matched wrong in-port")
+	}
+	if MatchAll().IsExact() {
+		t.Error("MatchAll claims to be exact")
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	wild := MatchAll()
+	some := MatchAll().With(FieldEthType, uint64(EthTypeIPv4))
+	exact := ExactMatch(hdrAB(), 1)
+	if !wild.Subsumes(some) || !wild.Subsumes(exact) || !some.Subsumes(exact) {
+		t.Error("generalization chain broken")
+	}
+	if exact.Subsumes(some) || some.Subsumes(wild) {
+		t.Error("specific match subsumed a general one")
+	}
+	// Prefix subsumption: /8 subsumes /24 within it, not outside.
+	p8 := MatchAll().WithIPSrcPrefix(MakeIPAddr(10, 0, 0, 0), 8)
+	p24in := MatchAll().WithIPSrcPrefix(MakeIPAddr(10, 1, 2, 0), 24)
+	p24out := MatchAll().WithIPSrcPrefix(MakeIPAddr(11, 1, 2, 0), 24)
+	if !p8.Subsumes(p24in) {
+		t.Error("10/8 does not subsume 10.1.2/24")
+	}
+	if p8.Subsumes(p24out) {
+		t.Error("10/8 subsumes 11.1.2/24")
+	}
+	if p24in.Subsumes(p8) {
+		t.Error("/24 subsumes /8")
+	}
+}
+
+// randomMatch builds a random match over a small value space so overlap
+// is common.
+func randomMatch(r *rand.Rand) Match {
+	m := MatchAll()
+	for f := Field(0); int(f) < numMatchable; f++ {
+		switch r.Intn(3) {
+		case 0:
+			continue // wildcard
+		case 1:
+			m = m.With(f, uint64(r.Intn(3)))
+		case 2:
+			if f == FieldIPSrc {
+				m = m.WithIPSrcPrefix(IPAddr(r.Uint32()), 1+r.Intn(32))
+			} else if f == FieldIPDst {
+				m = m.WithIPDstPrefix(IPAddr(r.Uint32()), 1+r.Intn(32))
+			} else {
+				m = m.With(f, uint64(r.Intn(3)))
+			}
+		}
+	}
+	return m
+}
+
+func randomHeader(r *rand.Rand) (Header, PortID) {
+	var h Header
+	for f := Field(0); int(f) < NumFields; f++ {
+		if f == FieldInPort {
+			continue
+		}
+		SetFieldValue(&h, f, uint64(r.Intn(3)))
+	}
+	return h, PortID(r.Intn(3))
+}
+
+// TestSubsumptionSemantics: if m1 subsumes m2, every packet m2 matches,
+// m1 matches too.
+func TestSubsumptionSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		m1, m2 := randomMatch(r), randomMatch(r)
+		if !m1.Subsumes(m2) {
+			continue
+		}
+		h, port := randomHeader(r)
+		if m2.Matches(h, port) && !m1.Matches(h, port) {
+			t.Fatalf("m1=%v subsumes m2=%v but does not match packet %v@%v", m1, m2, h, port)
+		}
+	}
+}
+
+// TestSubsumesReflexiveTransitive samples the partial-order laws.
+func TestSubsumesReflexiveTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randomMatch(r), randomMatch(r), randomMatch(r)
+		if !a.Subsumes(a) {
+			t.Fatalf("subsumes not reflexive for %v", a)
+		}
+		if a.Subsumes(b) && b.Subsumes(c) && !a.Subsumes(c) {
+			t.Fatalf("subsumes not transitive: %v, %v, %v", a, b, c)
+		}
+	}
+}
+
+// TestMatchKeyCanonical: equal matches have equal keys, different
+// matches different keys.
+func TestMatchKeyCanonical(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		a, b := randomMatch(r), randomMatch(r)
+		if (a == b) != (a.Key() == b.Key()) {
+			t.Fatalf("key/equality mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFieldValueSetFieldRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		for field := Field(0); int(field) < NumFields; field++ {
+			if field == FieldInPort {
+				continue
+			}
+			var h Header
+			SetFieldValue(&h, field, v)
+			mask := uint64(1)<<uint(field.Bits()) - 1
+			if FieldValue(h, 0, field) != v&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldNames(t *testing.T) {
+	if FieldEthSrc.String() != "dl_src" || FieldIPDst.String() != "nw_dst" {
+		t.Error("field names drifted from the NOX vocabulary")
+	}
+	if !FieldTPDst.Matchable() || FieldTCPFlags.Matchable() {
+		t.Error("matchability boundary wrong")
+	}
+}

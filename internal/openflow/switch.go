@@ -1,0 +1,506 @@
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IDAlloc hands out fresh PacketIDs. It is part of the modelled system
+// state (a plain counter) so that cloned states allocate identically and
+// replays stay deterministic.
+type IDAlloc struct{ next PacketID }
+
+// NewIDAlloc returns an allocator whose first ID is 1.
+func NewIDAlloc() *IDAlloc { return &IDAlloc{next: 1} }
+
+// Next returns a fresh PacketID.
+func (a *IDAlloc) Next() PacketID { a.next++; return a.next - 1 }
+
+// Clone copies the allocator.
+func (a *IDAlloc) Clone() *IDAlloc { c := *a; return &c }
+
+// Key renders the allocator state for hashing.
+func (a *IDAlloc) Key() string { return fmt.Sprintf("%d", a.next) }
+
+// BufEntry is a packet parked in the switch buffer awaiting a controller
+// decision. The NoForgottenPackets property (§5.2) checks these are all
+// released by the end of an execution.
+type BufEntry struct {
+	ID     BufferID
+	Pkt    Packet
+	InPort PortID
+}
+
+// PortOutput is a packet emitted on a switch port; the system layer maps
+// it onto the attached link.
+type PortOutput struct {
+	Port PortID
+	Pkt  Packet
+}
+
+// ProcResult collects the externally visible effects of processing one
+// packet or one OpenFlow message inside a switch.
+type ProcResult struct {
+	// Outputs are packets to place on egress links.
+	Outputs []PortOutput
+	// ToController are switch→controller messages (packet_in,
+	// barrier_reply, stats_reply) to enqueue on the OpenFlow channel.
+	ToController []Msg
+	// Dropped are packets discarded by an explicit drop action or an
+	// empty action list.
+	Dropped []Packet
+	// Buffered are packets newly parked in the switch buffer.
+	Buffered []Packet
+	// Released are packets released from the buffer by packet_out.
+	Released []Packet
+	// Copies are fresh packet instances created by flooding or
+	// multi-port output (NoBlackHoles' copy accounting needs them).
+	Copies []Packet
+	// Injected are controller-crafted packets entering the network via
+	// buffer-less packet_out.
+	Injected []Packet
+	// Matched notes the rule key a processed packet hit ("" on miss);
+	// properties and trace output use it.
+	Matched []string
+	// InstalledRules / DeletedRules record flow_mod effects.
+	InstalledRules []Rule
+	DeletedRules   int
+}
+
+func (r *ProcResult) merge(o ProcResult) {
+	r.Outputs = append(r.Outputs, o.Outputs...)
+	r.ToController = append(r.ToController, o.ToController...)
+	r.Dropped = append(r.Dropped, o.Dropped...)
+	r.Buffered = append(r.Buffered, o.Buffered...)
+	r.Released = append(r.Released, o.Released...)
+	r.Copies = append(r.Copies, o.Copies...)
+	r.Injected = append(r.Injected, o.Injected...)
+	r.Matched = append(r.Matched, o.Matched...)
+	r.InstalledRules = append(r.InstalledRules, o.InstalledRules...)
+	r.DeletedRules += o.DeletedRules
+}
+
+// Switch is the simplified OpenFlow switch model of §2.2.2: a flow table,
+// per-port ingress FIFO channels, a packet buffer for
+// awaiting-controller-response packets, and two transitions —
+// process_pkt and process_of — driven by the model checker.
+type Switch struct {
+	ID    SwitchID
+	Ports []PortID // sorted; the switch floods over these
+	Table *FlowTable
+
+	// in holds the per-port ingress FIFO packet channels.
+	in map[PortID][]Packet
+
+	// up tracks link state per port: a port is up when a switch link
+	// or a host is currently attached. Flooding targets up ports only
+	// (OpenFlow floods over ports that are up); outputting to a down
+	// port loses the packet — the black hole BUG-I manifests as.
+	up map[PortID]bool
+
+	buffer  []BufEntry
+	nextBuf BufferID
+
+	// Alive is false after an (optional) switch failure.
+	Alive bool
+}
+
+// NewSwitch builds a switch with the given ports (order irrelevant; they
+// are kept sorted).
+func NewSwitch(id SwitchID, ports []PortID) *Switch {
+	ps := make([]PortID, len(ports))
+	copy(ps, ports)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return &Switch{
+		ID:    id,
+		Ports: ps,
+		Table: NewFlowTable(),
+		in:    make(map[PortID][]Packet),
+		up:    make(map[PortID]bool),
+		Alive: true,
+	}
+}
+
+// SetPortUp sets a port's link state.
+func (s *Switch) SetPortUp(p PortID, isUp bool) {
+	if isUp {
+		s.up[p] = true
+	} else {
+		delete(s.up, p)
+	}
+}
+
+// PortUp reports a port's link state.
+func (s *Switch) PortUp(p PortID) bool { return s.up[p] }
+
+// Clone deep-copies the switch.
+func (s *Switch) Clone() *Switch {
+	c := &Switch{
+		ID:      s.ID,
+		Ports:   append([]PortID(nil), s.Ports...),
+		Table:   s.Table.Clone(),
+		in:      make(map[PortID][]Packet, len(s.in)),
+		up:      make(map[PortID]bool, len(s.up)),
+		buffer:  make([]BufEntry, len(s.buffer)),
+		nextBuf: s.nextBuf,
+		Alive:   s.Alive,
+	}
+	for p, q := range s.in {
+		c.in[p] = append([]Packet(nil), q...)
+	}
+	for p, u := range s.up {
+		c.up[p] = u
+	}
+	copy(c.buffer, s.buffer)
+	return c
+}
+
+// HasPort reports whether p is one of the switch's ports.
+func (s *Switch) HasPort(p PortID) bool {
+	for _, q := range s.Ports {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Enqueue appends a packet to port p's ingress channel.
+func (s *Switch) Enqueue(p PortID, pkt Packet) {
+	if !s.HasPort(p) {
+		panic(fmt.Sprintf("openflow: switch %v has no port %v", s.ID, p))
+	}
+	s.in[p] = append(s.in[p], pkt)
+}
+
+// PendingPorts returns the sorted ports with a non-empty ingress channel.
+func (s *Switch) PendingPorts() []PortID {
+	var ports []PortID
+	for _, p := range s.Ports {
+		if len(s.in[p]) > 0 {
+			ports = append(ports, p)
+		}
+	}
+	return ports
+}
+
+// QueuedPackets returns the ingress channel contents of port p in order.
+func (s *Switch) QueuedPackets(p PortID) []Packet { return s.in[p] }
+
+// TotalQueued counts packets across all ingress channels.
+func (s *Switch) TotalQueued() int {
+	n := 0
+	for _, q := range s.in {
+		n += len(q)
+	}
+	return n
+}
+
+// Buffered returns the awaiting-controller buffer entries in buffer-ID
+// order.
+func (s *Switch) Buffered() []BufEntry { return s.buffer }
+
+// DropHead removes and returns the head packet of a port's channel —
+// the fault model's packet-loss transition (§2.2.2's optional channel
+// faults).
+func (s *Switch) DropHead(p PortID) (Packet, bool) {
+	q := s.in[p]
+	if len(q) == 0 {
+		return Packet{}, false
+	}
+	pkt := q[0]
+	if len(q) == 1 {
+		delete(s.in, p)
+	} else {
+		s.in[p] = append([]Packet(nil), q[1:]...)
+	}
+	return pkt, true
+}
+
+// DupHead duplicates the head packet of a port's channel, giving the
+// copy a fresh identity and lineage (environment duplication creates a
+// new packet as far as the properties are concerned).
+func (s *Switch) DupHead(p PortID, alloc *IDAlloc) (Packet, bool) {
+	q := s.in[p]
+	if len(q) == 0 {
+		return Packet{}, false
+	}
+	dup := q[0]
+	dup.ID = alloc.Next()
+	dup.Orig = dup.ID
+	s.in[p] = append([]Packet{dup}, q...)
+	return dup, true
+}
+
+// SwapHead reorders the first two packets of a port's channel.
+func (s *Switch) SwapHead(p PortID) bool {
+	q := s.in[p]
+	if len(q) < 2 {
+		return false
+	}
+	nq := append([]Packet(nil), q...)
+	nq[0], nq[1] = nq[1], nq[0]
+	s.in[p] = nq
+	return true
+}
+
+// ProcessPackets implements the process_pkt transition: it dequeues the
+// head packet of every non-empty ingress channel and processes each
+// against the flow table — a single transition, because the checker
+// already explores arrival orderings (§2.2.2 "Two simple transitions").
+func (s *Switch) ProcessPackets(alloc *IDAlloc) ProcResult {
+	var res ProcResult
+	for _, p := range s.PendingPorts() {
+		pkt := s.in[p][0]
+		rest := s.in[p][1:]
+		if len(rest) == 0 {
+			delete(s.in, p)
+		} else {
+			s.in[p] = append([]Packet(nil), rest...)
+		}
+		res.merge(s.processOne(pkt, p, alloc))
+	}
+	return res
+}
+
+// ProcessPacketOnPort dequeues and processes the head packet of a single
+// port's channel. The fine-grained baseline checker (DESIGN.md §2(3))
+// uses this instead of the batched ProcessPackets.
+func (s *Switch) ProcessPacketOnPort(p PortID, alloc *IDAlloc) (ProcResult, bool) {
+	if len(s.in[p]) == 0 {
+		return ProcResult{}, false
+	}
+	pkt := s.in[p][0]
+	rest := s.in[p][1:]
+	if len(rest) == 0 {
+		delete(s.in, p)
+	} else {
+		s.in[p] = append([]Packet(nil), rest...)
+	}
+	return s.processOne(pkt, p, alloc), true
+}
+
+func (s *Switch) processOne(pkt Packet, inPort PortID, alloc *IDAlloc) ProcResult {
+	var res ProcResult
+	idx, ok := s.Table.Lookup(pkt.Header, inPort)
+	if !ok {
+		// Table miss: buffer the packet, send the header to the
+		// controller and await a response (§1.1).
+		res.merge(s.bufferAndNotify(pkt, inPort, ReasonNoMatch))
+		res.Matched = append(res.Matched, "")
+		return res
+	}
+	s.Table.Hit(idx)
+	rule := s.Table.Rules()[idx]
+	res.Matched = append(res.Matched, rule.Key())
+	res.merge(s.applyActions(pkt, inPort, rule.Actions, alloc))
+	return res
+}
+
+func (s *Switch) bufferAndNotify(pkt Packet, inPort PortID, reason PacketInReason) ProcResult {
+	var res ProcResult
+	id := s.nextBuf
+	s.nextBuf++
+	s.buffer = append(s.buffer, BufEntry{ID: id, Pkt: pkt, InPort: inPort})
+	res.Buffered = append(res.Buffered, pkt)
+	res.ToController = append(res.ToController, Msg{
+		Type:   MsgPacketIn,
+		Switch: s.ID,
+		Buffer: id,
+		Packet: pkt,
+		InPort: inPort,
+		Reason: reason,
+	})
+	return res
+}
+
+// applyActions executes an action list on a packet. Rewrites apply to
+// subsequent outputs; flood emits one fresh copy per non-ingress port.
+func (s *Switch) applyActions(pkt Packet, inPort PortID, actions []Action, alloc *IDAlloc) ProcResult {
+	var res ProcResult
+	if len(actions) == 0 {
+		res.Dropped = append(res.Dropped, pkt)
+		return res
+	}
+	cur := pkt
+	emitted := false
+	for _, a := range actions {
+		switch a.Type {
+		case ActionOutput:
+			out := cur
+			if emitted {
+				// Second and later outputs are copies.
+				out.ID = alloc.Next()
+				res.Copies = append(res.Copies, out)
+			}
+			emitted = true
+			res.Outputs = append(res.Outputs, PortOutput{Port: a.Port, Pkt: out})
+		case ActionFlood:
+			for _, p := range s.Ports {
+				if p == inPort || !s.up[p] {
+					continue
+				}
+				out := cur
+				if emitted {
+					out.ID = alloc.Next()
+					res.Copies = append(res.Copies, out)
+				}
+				emitted = true
+				res.Outputs = append(res.Outputs, PortOutput{Port: p, Pkt: out})
+			}
+		case ActionDrop:
+			if !emitted {
+				res.Dropped = append(res.Dropped, cur)
+			}
+			return res
+		case ActionController:
+			res.merge(s.bufferAndNotify(cur, inPort, ReasonAction))
+			emitted = true
+		case ActionSetField:
+			SetFieldValue(&cur.Header, a.Field, a.Value)
+		default:
+			panic(fmt.Sprintf("openflow: unknown action %v", a))
+		}
+	}
+	if !emitted {
+		// An action list of only rewrites forwards nowhere: drop.
+		res.Dropped = append(res.Dropped, cur)
+	}
+	return res
+}
+
+// ApplyOF implements the process_of transition for one controller→switch
+// message.
+func (s *Switch) ApplyOF(m Msg, alloc *IDAlloc) ProcResult {
+	var res ProcResult
+	switch m.Type {
+	case MsgFlowMod:
+		switch m.Cmd {
+		case FlowAdd:
+			s.Table.Install(m.Rule)
+			res.InstalledRules = append(res.InstalledRules, m.Rule)
+		case FlowDelete:
+			res.DeletedRules += s.Table.Delete(m.Rule.Match)
+		case FlowDeleteStrict:
+			res.DeletedRules += s.Table.DeleteStrict(m.Rule.Match, m.Rule.Priority)
+		}
+	case MsgPacketOut:
+		pkt := m.Packet
+		inPort := m.InPort
+		if m.Buffer != BufferNone {
+			entry, ok := s.takeBuffer(m.Buffer)
+			if !ok {
+				// Releasing an unknown buffer is a no-op (the
+				// buffer may have been released already).
+				return res
+			}
+			pkt = entry.Pkt
+			inPort = entry.InPort
+			res.Released = append(res.Released, pkt)
+		} else {
+			// A controller-crafted packet enters the network here;
+			// give it an identity so properties can account for it.
+			pkt.ID = alloc.Next()
+			pkt.Orig = pkt.ID
+			res.Injected = append(res.Injected, pkt)
+		}
+		res.merge(s.applyActions(pkt, inPort, m.Actions, alloc))
+	case MsgBarrierRequest:
+		res.ToController = append(res.ToController, Msg{
+			Type: MsgBarrierReply, Switch: s.ID, Xid: m.Xid,
+		})
+	case MsgStatsRequest:
+		res.ToController = append(res.ToController, Msg{
+			Type: MsgStatsReply, Switch: s.ID, Stats: s.portStats(m.StatsPort),
+		})
+	default:
+		panic(fmt.Sprintf("openflow: switch cannot apply %v", m.Type))
+	}
+	return res
+}
+
+// TakeAllBuffered empties the awaiting-controller buffer, returning the
+// entries (used when a switch fails and loses its soft state).
+func (s *Switch) TakeAllBuffered() []BufEntry {
+	out := s.buffer
+	s.buffer = nil
+	return out
+}
+
+func (s *Switch) takeBuffer(id BufferID) (BufEntry, bool) {
+	for i, e := range s.buffer {
+		if e.ID == id {
+			s.buffer = append(s.buffer[:i:i], s.buffer[i+1:]...)
+			return e, true
+		}
+	}
+	return BufEntry{}, false
+}
+
+// portStats summarizes per-rule counters into per-port transmit counters.
+// The aggregate is deliberately coarse: the checker replaces concrete
+// stats with symbolically discovered representatives (discover_stats,
+// §3.3), so only the message's existence matters to the search.
+func (s *Switch) portStats(port PortID) []PortStats {
+	var out []PortStats
+	for _, p := range s.Ports {
+		if port != PortNone && p != port {
+			continue
+		}
+		var tx uint64
+		for _, r := range s.Table.Rules() {
+			for _, a := range r.Actions {
+				if a.Type == ActionOutput && a.Port == p {
+					tx += r.ByteCount
+				}
+			}
+		}
+		out = append(out, PortStats{Port: p, TxBytes: tx})
+	}
+	return out
+}
+
+// ExpireTimers advances the flow-table timeout clock by one tick
+// (optional environment transition; see DESIGN.md §2(6)).
+func (s *Switch) ExpireTimers() []Rule { return s.Table.Tick() }
+
+// StateKey renders the switch state canonically for hashing. canonical
+// selects the reduced flow-table representation; includeCounters folds
+// rule counters into the key (off by default — see core.Config).
+func (s *Switch) StateKey(canonical, includeCounters bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sw%d alive=%t up[", int(s.ID), s.Alive)
+	for _, p := range s.Ports {
+		if s.up[p] {
+			fmt.Fprintf(&b, "%d ", int(p))
+		}
+	}
+	b.WriteString("] table[")
+	if canonical {
+		b.WriteString(s.Table.CanonicalKey(includeCounters))
+	} else {
+		b.WriteString(s.Table.InsertionOrderKey(includeCounters))
+	}
+	b.WriteString("] in[")
+	for _, p := range s.Ports {
+		q := s.in[p]
+		if len(q) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%v:", p)
+		for _, pkt := range q {
+			fmt.Fprintf(&b, "(%s)", pkt.Header.Key())
+		}
+	}
+	b.WriteString("] buf[")
+	for _, e := range s.buffer {
+		// Buffer IDs are opaque correlation tokens; hashing the held
+		// packets (not the IDs) lets semantically equivalent states
+		// merge. In-flight packet_in messages referencing a buffer
+		// already distinguish states where the distinction matters.
+		fmt.Fprintf(&b, "(%s)@%v", e.Pkt.Header.Key(), e.InPort)
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package scenarios
+
+import (
+	"testing"
+
+	"github.com/nice-go/nice/internal/core"
+)
+
+func TestSmokePingPong1(t *testing.T) {
+	cfg := PingPong(1)
+	report := core.NewChecker(cfg).Run()
+	t.Logf("pings=1: transitions=%d unique=%d elapsed=%v violations=%d",
+		report.Transitions, report.UniqueStates, report.Elapsed, len(report.Violations))
+	if report.Transitions == 0 {
+		t.Fatal("no transitions explored")
+	}
+}
+
+func TestSmokeAllBugs(t *testing.T) {
+	for _, b := range AllBugs {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			cfg := BugConfig(b)
+			report := core.NewChecker(cfg).Run()
+			t.Logf("%s: transitions=%d unique=%d violations=%d elapsed=%v",
+				b, report.Transitions, report.UniqueStates, len(report.Violations), report.Elapsed)
+			v := report.FirstViolation()
+			if v == nil {
+				t.Fatalf("%s not found", b)
+			}
+			t.Logf("violation: %s: %v (trace %d steps)", v.Property, v.Err, len(v.Trace))
+			if v.Property != b.ExpectedProperty() {
+				t.Fatalf("wrong property: got %s want %s", v.Property, b.ExpectedProperty())
+			}
+		})
+	}
+}
+
+func TestSmokeBugII(t *testing.T) {
+	cfg := BugConfig(BugII)
+	report := core.NewChecker(cfg).Run()
+	t.Logf("BUG-II: transitions=%d unique=%d violations=%d elapsed=%v",
+		report.Transitions, report.UniqueStates, len(report.Violations), report.Elapsed)
+	v := report.FirstViolation()
+	if v == nil {
+		t.Fatal("BUG-II not found")
+	}
+	t.Logf("violation:\n%s", v)
+	if v.Property != "StrictDirectPaths" {
+		t.Fatalf("wrong property: %s", v.Property)
+	}
+}

@@ -1,0 +1,105 @@
+package scenarios
+
+import (
+	"testing"
+
+	"github.com/nice-go/nice/internal/apps/energyte"
+	"github.com/nice-go/nice/internal/core"
+)
+
+// expectedMisses is the strategy miss-matrix we reproduce. The paper's
+// Table 2 reports NO-DELAY missing BUG-V, BUG-X and BUG-XI (race and
+// perceived-load bugs) and FLOW-IR missing BUG-VII. Our NO-DELAY
+// additionally misses BUG-IX: with every controller↔switch exchange
+// atomic, a packet can never outrun a rule install (see EXPERIMENTS.md
+// for the deviation discussion).
+var expectedMisses = map[Bug]map[Strategy]bool{
+	BugV:   {NoDelay: true},
+	BugVII: {FlowIR: true},
+	BugIX:  {NoDelay: true},
+	BugX:   {NoDelay: true},
+	BugXI:  {NoDelay: true},
+}
+
+func TestTable2StrategyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategy matrix is slow")
+	}
+	for _, b := range AllBugs {
+		for _, s := range Strategies {
+			b, s := b, s
+			t.Run(b.String()+"/"+s.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := WithStrategy(BugConfig(b), b, s)
+				report := core.NewChecker(cfg).Run()
+				found := report.FirstViolation() != nil
+				wantMiss := expectedMisses[b][s]
+				if found && wantMiss {
+					t.Errorf("%s with %s: expected miss, but found %s after %d transitions",
+						b, s, report.FirstViolation().Property, report.Transitions)
+				}
+				if !found && !wantMiss {
+					t.Errorf("%s with %s: expected to find the bug, missed it after %d transitions",
+						b, s, report.Transitions)
+				}
+				if found {
+					v := report.FirstViolation()
+					if v.Property != b.ExpectedProperty() {
+						t.Errorf("%s with %s: wrong property %s (want %s)", b, s, v.Property, b.ExpectedProperty())
+					}
+					t.Logf("%s %s: %d transitions / %v", b, s, report.Transitions, report.Elapsed)
+				}
+			})
+		}
+	}
+}
+
+// TestBarrierFixForBugIX checks the paper's alternative BUG-IX remedy:
+// instead of handling packets at intermediate switches, the controller
+// holds the triggering packet at the ingress until barriers confirm the
+// whole path is installed (§8.3). The intermediate-switch ignore is
+// still present (fix level FixVIII), yet no packet is ever forgotten.
+func TestBarrierFixForBugIX(t *testing.T) {
+	cfg := BugConfig(BugIX)
+	barrierApp := energyte.New(energyte.FixVIII, cfg.Topo, TEThreshold, 0)
+	barrierApp.UseBarriers = true
+	cfg.App = barrierApp
+	report := core.NewChecker(cfg).Run()
+	if v := report.FirstViolation(); v != nil {
+		t.Fatalf("barrier variant still violates: %v\n%s", v.Err, v)
+	}
+	t.Logf("barrier variant clean over %d transitions / %d states", report.Transitions, report.UniqueStates)
+
+	// Sanity: under UNUSUAL (which hunts exactly this race) it is
+	// still clean.
+	cfg2 := BugConfig(BugIX)
+	barrierApp2 := energyte.New(energyte.FixVIII, cfg2.Topo, TEThreshold, 0)
+	barrierApp2.UseBarriers = true
+	cfg2.App = barrierApp2
+	cfg2.Unusual = true
+	if v := core.NewChecker(cfg2).Run().FirstViolation(); v != nil {
+		t.Fatalf("barrier variant violates under UNUSUAL: %v", v.Err)
+	}
+}
+
+func TestFixedAppsAreClean(t *testing.T) {
+	for _, b := range AllBugs {
+		if b == BugI {
+			// BUG-I's published remedy (a hard timeout) only bounds
+			// the outage; strict NoBlackHoles still flags the
+			// transient loss, as §8.1 discusses. Covered by
+			// TestBugIFixedRecovers in pyswitch_test.go.
+			continue
+		}
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := FixedConfig(b)
+			report := core.NewChecker(cfg).Run()
+			if v := report.FirstViolation(); v != nil {
+				t.Fatalf("fixed app still violates %s: %v\ntrace:\n%s", v.Property, v.Err, v)
+			}
+			t.Logf("%s fixed: clean over %d transitions / %d states", b, report.Transitions, report.UniqueStates)
+		})
+	}
+}

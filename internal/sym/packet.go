@@ -1,0 +1,197 @@
+package sym
+
+import (
+	"fmt"
+
+	"github.com/nice-go/nice/internal/openflow"
+)
+
+// Packet is NICE's symbolic packet (§3.2): one lazily-tracked symbolic
+// integer per header field, rather than an array of symbolic bytes. The
+// same type carries concrete packets during model-checking transitions —
+// then every field is a plain concrete Value and handlers run at full
+// speed.
+type Packet struct {
+	fields [openflow.NumFields]Value
+}
+
+// ConcretePacket wraps a concrete header observed on inPort: all fields
+// concrete, nothing recorded.
+func ConcretePacket(h openflow.Header, inPort openflow.PortID) *Packet {
+	var p Packet
+	for f := openflow.Field(0); int(f) < openflow.NumFields; f++ {
+		p.fields[f] = Concrete(openflow.FieldValue(h, inPort, f))
+	}
+	return &p
+}
+
+// SymbolicPacket builds a packet whose header fields are symbolic
+// variables instantiated from the given header; the in-port stays
+// concrete because it is part of the client's location context, which
+// discover_packets fixes before executing the handler (§3.3).
+func SymbolicPacket(h openflow.Header, inPort openflow.PortID) *Packet {
+	var p Packet
+	for f := openflow.Field(0); int(f) < openflow.NumFields; f++ {
+		v := openflow.FieldValue(h, inPort, f)
+		if f == openflow.FieldInPort {
+			p.fields[f] = Concrete(v)
+			continue
+		}
+		p.fields[f] = Symbolic(f.String(), f.Bits(), v)
+	}
+	return &p
+}
+
+// Field returns the concolic value of a header field.
+func (p *Packet) Field(f openflow.Field) Value { return p.fields[f] }
+
+// Convenience accessors for the fields the case-study applications use.
+
+// EthSrc returns the source MAC field.
+func (p *Packet) EthSrc() Value { return p.fields[openflow.FieldEthSrc] }
+
+// EthDst returns the destination MAC field.
+func (p *Packet) EthDst() Value { return p.fields[openflow.FieldEthDst] }
+
+// EthType returns the EtherType field.
+func (p *Packet) EthType() Value { return p.fields[openflow.FieldEthType] }
+
+// IPSrc returns the IP source field.
+func (p *Packet) IPSrc() Value { return p.fields[openflow.FieldIPSrc] }
+
+// IPDst returns the IP destination field.
+func (p *Packet) IPDst() Value { return p.fields[openflow.FieldIPDst] }
+
+// IPProto returns the IP protocol field.
+func (p *Packet) IPProto() Value { return p.fields[openflow.FieldIPProto] }
+
+// TPSrc returns the transport source port field.
+func (p *Packet) TPSrc() Value { return p.fields[openflow.FieldTPSrc] }
+
+// TPDst returns the transport destination port field.
+func (p *Packet) TPDst() Value { return p.fields[openflow.FieldTPDst] }
+
+// TCPFlags returns the TCP flags field.
+func (p *Packet) TCPFlags() Value { return p.fields[openflow.FieldTCPFlags] }
+
+// ArpOp returns the ARP opcode field.
+func (p *Packet) ArpOp() Value { return p.fields[openflow.FieldArpOp] }
+
+// InPort returns the (always concrete) ingress port.
+func (p *Packet) InPort() openflow.PortID {
+	return openflow.PortID(p.fields[openflow.FieldInPort].C)
+}
+
+// Header materializes the concrete header of the current instantiation.
+func (p *Packet) Header() openflow.Header {
+	var h openflow.Header
+	for f := openflow.Field(0); int(f) < openflow.NumFields; f++ {
+		if f == openflow.FieldInPort {
+			continue
+		}
+		openflow.SetFieldValue(&h, f, p.fields[f].C)
+	}
+	return h
+}
+
+// ApplyAssignment re-instantiates the symbolic fields from a solver
+// model, leaving fields the model does not mention at their current
+// concrete values.
+func (p *Packet) ApplyAssignment(a Assignment) {
+	for f := openflow.Field(0); int(f) < openflow.NumFields; f++ {
+		if v, ok := a[f.String()]; ok {
+			p.fields[f].C = v
+		}
+	}
+}
+
+// CurrentAssignment extracts the concrete instantiation of all symbolic
+// fields.
+func (p *Packet) CurrentAssignment() Assignment {
+	a := make(Assignment)
+	for f := openflow.Field(0); int(f) < openflow.NumFields; f++ {
+		if p.fields[f].IsSymbolic() {
+			a[f.String()] = p.fields[f].C
+		}
+	}
+	return a
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("sympkt(%s@%v)", p.Header(), p.InPort())
+}
+
+// Stats is the symbolic counterpart of a stats reply: a vector of
+// symbolic integers the statistics handler branches on. discover_stats
+// executes the handler with these "symbolic integers as arguments"
+// (§3.3) and derives the concrete utilization levels that drive distinct
+// code paths.
+type Stats struct {
+	ports  []openflow.PortID
+	values []Value
+}
+
+// ConcreteStats wraps concrete per-port transmit counters.
+func ConcreteStats(stats []openflow.PortStats) *Stats {
+	s := &Stats{}
+	for _, ps := range stats {
+		s.ports = append(s.ports, ps.Port)
+		s.values = append(s.values, Concrete(ps.TxBytes))
+	}
+	return s
+}
+
+// SymbolicStats builds a stats vector of symbolic variables named
+// stat_tx_<port>, instantiated at the given seed values.
+func SymbolicStats(ports []openflow.PortID, seed []uint64) *Stats {
+	s := &Stats{}
+	for i, p := range ports {
+		var v uint64
+		if i < len(seed) {
+			v = seed[i]
+		}
+		s.ports = append(s.ports, p)
+		s.values = append(s.values, Symbolic(StatVarName(p), 64, v))
+	}
+	return s
+}
+
+// StatVarName is the symbolic-variable name for a port's TX counter.
+func StatVarName(p openflow.PortID) string {
+	return fmt.Sprintf("stat_tx_%d", int(p))
+}
+
+// Ports lists the ports covered by the stats vector.
+func (s *Stats) Ports() []openflow.PortID { return s.ports }
+
+// TxBytes returns the (concolic) transmit byte counter for a port, or a
+// concrete zero if the port is absent.
+func (s *Stats) TxBytes(p openflow.PortID) Value {
+	for i, q := range s.ports {
+		if q == p {
+			return s.values[i]
+		}
+	}
+	return Concrete(0)
+}
+
+// ApplyAssignment re-instantiates symbolic stats from a solver model.
+func (s *Stats) ApplyAssignment(a Assignment) {
+	for i := range s.values {
+		if !s.values[i].IsSymbolic() {
+			continue
+		}
+		if v, ok := a[StatVarName(s.ports[i])]; ok {
+			s.values[i].C = v
+		}
+	}
+}
+
+// Concrete materializes the current instantiation as wire stats.
+func (s *Stats) Concrete() []openflow.PortStats {
+	out := make([]openflow.PortStats, len(s.ports))
+	for i := range s.ports {
+		out[i] = openflow.PortStats{Port: s.ports[i], TxBytes: s.values[i].C}
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+// Package nice is a from-scratch Go implementation of NICE — the
+// combination of explicit-state model checking and concolic (symbolic)
+// execution for testing OpenFlow controller programs introduced by
+// "A NICE Way to Test OpenFlow Applications" (Canini, Venzano, Perešíni,
+// Kostić, Rexford — NSDI 2012).
+//
+// Given a controller application, a network topology, and a set of
+// correctness properties, NICE systematically explores the state space
+// of the whole system — controller, switches and end hosts — and reports
+// property violations together with transition traces that reproduce
+// them deterministically:
+//
+//	topo, aID, bID := nice.SingleSwitch()
+//	cfg := &nice.Config{
+//		Topo: topo,
+//		App:  pyswitch.New(pyswitch.Buggy, topo),
+//		Hosts: []*nice.Host{
+//			nice.NewClient(topo.Host(aID), 2, 0, ping),
+//			nice.NewServer(topo.Host(bID), nice.EchoReply, 1),
+//		},
+//		Properties:           []nice.Property{nice.NewStrictDirectPaths()},
+//		StopAtFirstViolation: true,
+//	}
+//	report := nice.Check(cfg)
+//	if v := report.FirstViolation(); v != nil {
+//		fmt.Println(v) // property, cause, replayable trace
+//	}
+//
+// The package exposes the building blocks as documented aliases:
+//
+//   - the system model: switches, packets, matches, flow tables
+//     (openflow types), topologies (Topology), and end hosts (Host);
+//   - the checker: Config, Checker, Report, Violation, Simulator,
+//     RandomWalk, and the search strategies of the paper's §4
+//     (PKT-SEQ bounds on hosts, Config.NoDelay, Config.Unusual,
+//     Config.FlowGroupKey);
+//   - the property library of §5: NoForwardingLoops, NoBlackHoles,
+//     DirectPaths, StrictDirectPaths, NoForgottenPackets, plus the
+//     application-specific FlowAffinity and UseCorrectRoutingTable;
+//   - the three case-study applications of §8 under
+//     internal/apps/{pyswitch,loadbalancer,energyte}, each in its
+//     published (buggy) and repaired variants.
+//
+// Controller applications implement the App interface: event handlers
+// (PacketIn, SwitchJoin, StatsReply, …) that act on switches through the
+// Context actuator. Handlers route packet-dependent branch conditions
+// through Context.If and the sym.Lookup* map stubs; this single
+// convention is what lets discover_packets and discover_stats run the
+// same handler code concolically to find the relevant inputs (the
+// paper's §3 contribution).
+package nice
+
+import (
+	"github.com/nice-go/nice/internal/controller"
+	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice/internal/hosts"
+	"github.com/nice-go/nice/internal/openflow"
+	"github.com/nice-go/nice/internal/props"
+	"github.com/nice-go/nice/internal/sym"
+	"github.com/nice-go/nice/internal/topo"
+)
+
+// Checking machinery (internal/core).
+type (
+	// Config describes one checking task: system model, properties,
+	// strategy and budgets.
+	Config = core.Config
+	// DomainHints supplies symbolic-input domain knowledge (§3.2).
+	DomainHints = core.DomainHints
+	// Checker runs state-space searches.
+	Checker = core.Checker
+	// Report summarizes a search.
+	Report = core.Report
+	// Violation is a property failure with a replayable trace.
+	Violation = core.Violation
+	// Transition is one step of a system execution.
+	Transition = core.Transition
+	// Event is an observable occurrence properties subscribe to.
+	Event = core.Event
+	// EventKind discriminates events.
+	EventKind = core.EventKind
+	// Property is a pluggable correctness property (§5).
+	Property = core.Property
+	// System is one state of the modelled network.
+	System = core.System
+	// Simulator drives manually-chosen step-by-step executions.
+	Simulator = core.Simulator
+	// GroupKeyFunc configures the FLOW-IR strategy.
+	GroupKeyFunc = core.GroupKeyFunc
+)
+
+// Controller programming model (internal/controller).
+type (
+	// App is a controller application under test.
+	App = controller.App
+	// EnvApp adds environment (reconfiguration) events to an App.
+	EnvApp = controller.EnvApp
+	// BaseApp provides no-op handlers to embed.
+	BaseApp = controller.BaseApp
+	// Context is the per-invocation handler context and actuator.
+	Context = controller.Context
+)
+
+// End hosts (internal/hosts).
+type (
+	// Host is the dynamic state of one end host.
+	Host = hosts.Host
+	// ReplyFunc derives a server's reply to a received packet.
+	ReplyFunc = hosts.ReplyFunc
+)
+
+// Network model (internal/openflow, internal/topo).
+type (
+	// Topology is the static network description.
+	Topology = topo.Topology
+	// PortKey names one switch port.
+	PortKey = topo.PortKey
+	// Header is a packet header.
+	Header = openflow.Header
+	// Packet is a packet instance with identity.
+	Packet = openflow.Packet
+	// Match is an OpenFlow wildcard pattern.
+	Match = openflow.Match
+	// Rule is a flow-table entry.
+	Rule = openflow.Rule
+	// SwitchID identifies a switch.
+	SwitchID = openflow.SwitchID
+	// PortID identifies a switch port.
+	PortID = openflow.PortID
+	// HostID identifies an end host.
+	HostID = openflow.HostID
+	// EthAddr is a 48-bit MAC address.
+	EthAddr = openflow.EthAddr
+	// IPAddr is an IPv4 address.
+	IPAddr = openflow.IPAddr
+	// Field names a packet header field (matching and symbolic
+	// variables share this namespace).
+	Field = openflow.Field
+)
+
+// Header fields (the OpenFlow 1.0 12-tuple plus controller-visible
+// extras).
+const (
+	FieldInPort   = openflow.FieldInPort
+	FieldEthSrc   = openflow.FieldEthSrc
+	FieldEthDst   = openflow.FieldEthDst
+	FieldEthType  = openflow.FieldEthType
+	FieldIPSrc    = openflow.FieldIPSrc
+	FieldIPDst    = openflow.FieldIPDst
+	FieldIPProto  = openflow.FieldIPProto
+	FieldTPSrc    = openflow.FieldTPSrc
+	FieldTPDst    = openflow.FieldTPDst
+	FieldTCPFlags = openflow.FieldTCPFlags
+	FieldArpOp    = openflow.FieldArpOp
+)
+
+// Wire constants re-exported for convenience.
+const (
+	EthTypeIPv4  = openflow.EthTypeIPv4
+	EthTypeARP   = openflow.EthTypeARP
+	IPProtoTCP   = openflow.IPProtoTCP
+	TCPSyn       = openflow.TCPSyn
+	TCPAck       = openflow.TCPAck
+	BroadcastEth = openflow.BroadcastEth
+)
+
+// Event kinds properties subscribe to (§5.1's transition callbacks).
+const (
+	EvHostSend      = core.EvHostSend
+	EvDelivered     = core.EvDelivered
+	EvHostMove      = core.EvHostMove
+	EvArrive        = core.EvArrive
+	EvProcessed     = core.EvProcessed
+	EvPacketIn      = core.EvPacketIn
+	EvBuffered      = core.EvBuffered
+	EvReleased      = core.EvReleased
+	EvDropped       = core.EvDropped
+	EvVanished      = core.EvVanished
+	EvCopied        = core.EvCopied
+	EvCtrlInject    = core.EvCtrlInject
+	EvRuleInstalled = core.EvRuleInstalled
+	EvRuleDeleted   = core.EvRuleDeleted
+	EvCtrlDispatch  = core.EvCtrlDispatch
+	EvStats         = core.EvStats
+	EvEnv           = core.EvEnv
+)
+
+// MakeEthAddr builds a MAC address from six octets.
+func MakeEthAddr(b0, b1, b2, b3, b4, b5 byte) EthAddr {
+	return openflow.MakeEthAddr(b0, b1, b2, b3, b4, b5)
+}
+
+// MakeIPAddr builds an IPv4 address from four octets.
+func MakeIPAddr(b0, b1, b2, b3 byte) IPAddr { return openflow.MakeIPAddr(b0, b1, b2, b3) }
+
+// Symbolic packets and stats (internal/sym) for application authors.
+type (
+	// SymPacket is a packet with concolic header fields.
+	SymPacket = sym.Packet
+	// SymStats is a stats reply with concolic counters.
+	SymStats = sym.Stats
+	// SymValue is a concolic integer.
+	SymValue = sym.Value
+	// SymBool is a concolic boolean.
+	SymBool = sym.Bool
+)
+
+// NewChecker prepares a search over a configuration.
+func NewChecker(cfg *Config) *Checker { return core.NewChecker(cfg) }
+
+// Check runs a full depth-first search and returns the report — the
+// paper's default mode.
+func Check(cfg *Config) *Report { return core.NewChecker(cfg).Run() }
+
+// NewSimulator boots a system for interactive stepping (§1.3's
+// "manually-driven, step-by-step system executions").
+func NewSimulator(cfg *Config) *Simulator { return core.NewSimulator(cfg) }
+
+// RandomWalk performs seeded random executions (§1.3's "random walks on
+// system states").
+func RandomWalk(cfg *Config, seed int64, walks, maxSteps int) *Report {
+	return core.RandomWalk(cfg, seed, walks, maxSteps)
+}
+
+// NewClient builds a client host: a bounded send transition plus
+// receive, with PKT-SEQ's burst credit counter (§2.2.3, §4).
+func NewClient(spec *topo.Host, sends, burst int, seed Header) *Host {
+	return hosts.NewClient(spec, sends, burst, seed)
+}
+
+// NewServer builds a replying host (receive enables send_reply).
+func NewServer(spec *topo.Host, reply ReplyFunc, replyBudget int) *Host {
+	return hosts.NewServer(spec, reply, replyBudget)
+}
+
+// EchoReply is the layer-2 echo behaviour of the §7 ping workload.
+func EchoReply(h *Host, rcv Header) (Header, bool) { return hosts.EchoReply(h, rcv) }
+
+// TCPServerReply models a TCP server (SYN→SYN|ACK, data→ACK).
+func TCPServerReply(h *Host, rcv Header) (Header, bool) { return hosts.TCPServerReply(h, rcv) }
+
+// Property library (§5.2).
+var (
+	// NewNoForwardingLoops asserts no packet loops.
+	NewNoForwardingLoops = props.NewNoForwardingLoops
+	// NewNoBlackHoles asserts every packet leaves the network or is
+	// consumed by the controller.
+	NewNoBlackHoles = props.NewNoBlackHoles
+	// NewDirectPaths asserts established flows bypass the controller.
+	NewDirectPaths = props.NewDirectPaths
+	// NewStrictDirectPaths asserts both directions bypass the
+	// controller once established.
+	NewStrictDirectPaths = props.NewStrictDirectPaths
+	// NewNoForgottenPackets asserts switch buffers drain by the end of
+	// execution.
+	NewNoForgottenPackets = props.NewNoForgottenPackets
+	// NewFlowAffinity asserts a TCP connection sticks to one replica.
+	NewFlowAffinity = props.NewFlowAffinity
+	// NewUseCorrectRoutingTable asserts flows use the load-appropriate
+	// routing table.
+	NewUseCorrectRoutingTable = props.NewUseCorrectRoutingTable
+)
+
+// Topology construction.
+var (
+	// NewTopology returns an empty topology builder.
+	NewTopology = topo.New
+	// Linear builds A — s1 — … — sn — B (Figure 1 generalized).
+	Linear = topo.Linear
+	// SingleSwitch builds one switch with hosts A and B.
+	SingleSwitch = topo.SingleSwitch
+	// SingleSwitchMobile adds a third port host B can move to.
+	SingleSwitchMobile = topo.SingleSwitchMobile
+	// Cycle builds n switches in a ring.
+	Cycle = topo.Cycle
+	// LoadBalancerTopo builds the §8.2 client/replicas setting.
+	LoadBalancerTopo = topo.LoadBalancer
+	// Triangle builds the §8.3 TE setting.
+	Triangle = topo.Triangle
+)
