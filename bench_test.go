@@ -11,11 +11,13 @@ package nice_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/nice-go/nice"
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/scenarios"
+	"github.com/nice-go/nice/internal/search"
 	"github.com/nice-go/nice/internal/sym"
 )
 
@@ -118,6 +120,52 @@ func BenchmarkTable2(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- Parallel search (internal/search) ---
+
+// BenchmarkParallelSearch measures the work-stealing engine against the
+// sequential reference (workers=1 delegates to core.Checker) on the
+// scaled pyswitch Table-2 scenario, at 1, 4 and NumCPU workers. The
+// wall-clock ratio between the workers=1 and workers=4 rows is the
+// speedup the BENCH trajectory tracks; on a multi-core machine it
+// should reach ≥2× at 4 workers (a single-core container can only show
+// the engine's overhead).
+func BenchmarkParallelSearch(b *testing.B) {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var last *core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := scenarios.PyswitchBench(3)
+				last = search.New(cfg, search.Options{Workers: workers}).Run()
+			}
+			reportSearch(b, last)
+		})
+	}
+}
+
+// BenchmarkParallelSwarm measures the seeded random-walk swarm on the
+// same workload (walk i always runs seed+i; since this scenario runs
+// with symbolic execution, trajectories may shift slightly with
+// worker scheduling as the shared discover caches fill).
+func BenchmarkParallelSwarm(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var last *core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := scenarios.PyswitchBench(3)
+				last = search.New(cfg, search.Options{
+					Strategy: search.Swarm, Workers: workers,
+					Seed: 1, Walks: 64, Steps: 80,
+				}).Run()
+			}
+			reportSearch(b, last)
+		})
 	}
 }
 

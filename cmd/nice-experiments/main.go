@@ -6,6 +6,7 @@
 //	nice-experiments -table2               Table 2: per-bug, per-strategy hunts
 //	nice-experiments -baseline             §7: NICE-MC vs the fine-grained baseline
 //	nice-experiments -all
+//	nice-experiments -all -workers 8       searches run on the parallel engine
 //
 // Absolute numbers differ from the paper's (Go vs Python, simplified
 // substrate); the shapes under comparison are the reproduction targets —
@@ -21,7 +22,19 @@ import (
 
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/scenarios"
+	"github.com/nice-go/nice/internal/search"
 )
+
+// workers selects the engine for every search the harness runs:
+// 1 = the sequential reference checker, otherwise internal/search's
+// work-stealing pool (0 = all CPUs).
+var workers = flag.Int("workers", 1, "parallel search workers (0 = all CPUs, 1 = sequential checker)")
+
+// runSearch executes one search on the selected engine (the engine
+// itself delegates workers==1 to the sequential checker).
+func runSearch(cfg *core.Config) *core.Report {
+	return search.Run(cfg, *workers)
+}
 
 func main() {
 	var (
@@ -64,10 +77,10 @@ func runTable1(maxPings int) {
 	fmt.Fprintln(w, "Pings\tTransitions\tUnique states\tCPU time\tTransitions\tUnique states\tCPU time\trho")
 	fmt.Fprintln(w, "\t— NICE-MC —\t\t\t— NO-SWITCH-REDUCTION —\t\t\t")
 	for pings := 1; pings <= maxPings; pings++ {
-		nice := core.NewChecker(scenarios.PingPong(pings)).Run()
+		nice := runSearch(scenarios.PingPong(pings))
 		cfg := scenarios.PingPong(pings)
 		cfg.NoSwitchReduction = true
-		nr := core.NewChecker(cfg).Run()
+		nr := runSearch(cfg)
 		rho := 1 - float64(nice.UniqueStates)/float64(nr.UniqueStates)
 		fmt.Fprintf(w, "%d\t%d\t%d\t%v\t%d\t%d\t%v\t%.2f\n",
 			pings, nice.Transitions, nice.UniqueStates, round(nice.Elapsed),
@@ -82,15 +95,15 @@ func runFigure6(maxPings int) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Pings\tNO-DELAY trans.\tNO-DELAY CPU\tFLOW-IR trans.\tFLOW-IR CPU")
 	for pings := 2; pings <= maxPings; pings++ {
-		base := core.NewChecker(scenarios.PingPong(pings)).Run()
+		base := runSearch(scenarios.PingPong(pings))
 
 		nd := scenarios.PingPong(pings)
 		nd.NoDelay = true
-		noDelay := core.NewChecker(nd).Run()
+		noDelay := runSearch(nd)
 
 		fir := scenarios.PingPong(pings)
 		fir.FlowGroupKey = scenarios.PingGroup
-		flowIR := core.NewChecker(fir).Run()
+		flowIR := runSearch(fir)
 
 		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2f\t%.2f\n", pings,
 			reduction(base.Transitions, noDelay.Transitions),
@@ -109,8 +122,8 @@ func runBaseline(maxPings int) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Pings\tNICE-MC trans.\tNICE-MC CPU\tBaseline trans.\tBaseline CPU\tSpeed-up")
 	for pings := 1; pings <= maxPings; pings++ {
-		nice := core.NewChecker(scenarios.PingPong(pings)).Run()
-		fine := core.NewChecker(scenarios.BaselineFine(pings)).Run()
+		nice := runSearch(scenarios.PingPong(pings))
+		fine := runSearch(scenarios.BaselineFine(pings))
 		speedup := float64(fine.Elapsed) / float64(nice.Elapsed)
 		fmt.Fprintf(w, "%d\t%d\t%v\t%d\t%v\t%.1fx\n",
 			pings, nice.Transitions, round(nice.Elapsed),
@@ -128,7 +141,7 @@ func runTable2() {
 		fmt.Fprintf(w, "%s", b)
 		for _, s := range scenarios.Strategies {
 			cfg := scenarios.WithStrategy(scenarios.BugConfig(b), b, s)
-			report := core.NewChecker(cfg).Run()
+			report := runSearch(cfg)
 			if v := report.FirstViolation(); v != nil {
 				fmt.Fprintf(w, "\t%d / %v", report.Transitions, round(report.Elapsed))
 			} else {

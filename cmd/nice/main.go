@@ -6,8 +6,16 @@
 //	nice -scenario bug-ii                 # find BUG-II, print the trace
 //	nice -scenario bug-vii -strategy flow-ir
 //	nice -scenario pingpong -pings 3      # exhaustive search, no properties
+//	nice -scenario pingpong -pings 3 -workers 8   # parallel search
 //	nice -scenario bug-ix -mode walk -walks 100 -steps 50 -seed 7
 //	nice -list                            # enumerate scenarios
+//
+// -workers N spreads the search over N cores via internal/search's
+// work-stealing engine (0 = all CPUs); the default 1 runs the
+// sequential reference checker. Walk mode always runs the seeded
+// swarm: walk i uses seed+i, so with symbolic execution off the walk
+// set doesn't depend on the worker count (SE-enabled walks share
+// discover-cache fills, so trajectories can shift with scheduling).
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/scenarios"
+	"github.com/nice-go/nice/internal/search"
 )
 
 func main() {
@@ -33,6 +42,7 @@ func main() {
 		maxTrans = flag.Int64("max-transitions", 0, "abort the search after this many transitions")
 		fixed    = flag.Bool("fixed", false, "check the repaired application instead")
 		all      = flag.Bool("all-violations", false, "keep searching past the first violation")
+		workers  = flag.Int("workers", 1, "parallel search workers (0 = all CPUs, 1 = sequential checker)")
 		list     = flag.Bool("list", false, "list scenarios and exit")
 	)
 	flag.Parse()
@@ -68,9 +78,14 @@ func main() {
 	var report *core.Report
 	switch *mode {
 	case "check":
-		report = core.NewChecker(cfg).Run()
+		// workers==1 delegates to the sequential reference checker
+		// inside the engine.
+		report = search.Run(cfg, *workers)
 	case "walk":
-		report = core.RandomWalk(cfg, *seed, *walks, *steps)
+		report = search.New(cfg, search.Options{
+			Strategy: search.Swarm, Workers: *workers,
+			Seed: *seed, Walks: *walks, Steps: *steps,
+		}).Run()
 	default:
 		fmt.Fprintf(os.Stderr, "nice: unknown mode %q\n", *mode)
 		os.Exit(2)

@@ -1,0 +1,3 @@
+module github.com/nice-go/nice
+
+go 1.24

@@ -65,7 +65,7 @@ func (r *Report) FirstViolation() *Violation {
 // Checker runs state-space searches over a Config.
 type Checker struct {
 	cfg    *Config
-	caches *caches
+	caches *Caches
 
 	explored map[string]bool
 	report   *Report
@@ -75,8 +75,17 @@ type Checker struct {
 
 // NewChecker prepares a search.
 func NewChecker(cfg *Config) *Checker {
-	return &Checker{cfg: cfg, caches: newCaches()}
+	return &Checker{cfg: cfg, caches: NewCaches()}
 }
+
+// NewCheckerWith prepares a search against a caller-supplied
+// discover-cache set (shared with a parallel engine or a prior run).
+func NewCheckerWith(cfg *Config, cc *Caches) *Checker {
+	return &Checker{cfg: cfg, caches: cc}
+}
+
+// Caches exposes the checker's discover caches for sharing.
+func (c *Checker) Caches() *Caches { return c.caches }
 
 // Run performs the full depth-first search from the initial state and
 // returns the report. It follows Figure 5 of the paper: explore enabled
@@ -92,7 +101,7 @@ func (c *Checker) Run() *Report {
 	root := newSystem(c.cfg, c.caches)
 	c.dfs(root, nil)
 
-	c.report.SERuns = c.caches.seRuns
+	c.report.SERuns = c.caches.SERuns()
 	c.report.Elapsed = time.Since(start)
 	return c.report
 }

@@ -148,6 +148,11 @@ func (c *Config) maxDepth() int {
 	return c.MaxDepth
 }
 
+// DepthBound is the effective execution depth bound (MaxDepth with its
+// default applied); the parallel search engine truncates at the same
+// depth as the sequential checker.
+func (c *Config) DepthBound() int { return c.maxDepth() }
+
 func (c *Config) canonicalTables() bool { return !c.NoSwitchReduction }
 
 // fieldDomains builds the per-variable candidate sets for symbolic

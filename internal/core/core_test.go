@@ -431,8 +431,8 @@ func TestDiscoverPacketsCachesPerControllerState(t *testing.T) {
 		t.Fatalf("fresh state enables %v, want just discover_packets", en)
 	}
 	sys.Apply(en[0])
-	if sys.caches.seRuns != 1 {
-		t.Fatalf("seRuns = %d", sys.caches.seRuns)
+	if sys.caches.SERuns() != 1 {
+		t.Fatalf("seRuns = %d", sys.caches.SERuns())
 	}
 	sends := 0
 	for _, tr := range sys.Enabled() {

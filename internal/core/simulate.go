@@ -10,14 +10,14 @@ import (
 // walks on system states" mode (§1.3).
 type Simulator struct {
 	cfg    *Config
-	caches *caches
+	caches *Caches
 	sys    *System
 	trace  []Transition
 }
 
 // NewSimulator boots a system for interactive stepping.
 func NewSimulator(cfg *Config) *Simulator {
-	cc := newCaches()
+	cc := NewCaches()
 	return &Simulator{cfg: cfg, caches: cc, sys: newSystem(cfg, cc)}
 }
 
@@ -61,7 +61,7 @@ func (s *Simulator) Reset() {
 // seen across walks).
 func RandomWalk(cfg *Config, seed int64, walks, maxSteps int) *Report {
 	rng := rand.New(rand.NewSource(seed))
-	cc := newCaches()
+	cc := NewCaches()
 	report := &Report{Complete: true}
 	seen := make(map[string]bool)
 	seenViol := make(map[string]bool)
@@ -113,6 +113,6 @@ func RandomWalk(cfg *Config, seed int64, walks, maxSteps int) *Report {
 			}
 		}
 	}
-	report.SERuns = cc.seRuns
+	report.SERuns = cc.SERuns()
 	return report
 }

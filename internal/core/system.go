@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/controller"
@@ -13,22 +15,65 @@ import (
 	"github.com/nice-go/nice/internal/topo"
 )
 
-// caches hold the results of discover transitions. They are shared
+// Caches hold the results of discover transitions. They are shared
 // across the whole search (not cloned with states): concolic execution
 // is deterministic given the controller state, so the cache is a pure
 // memo of Figure 5's client.packets map, keyed by the stringified
-// controller state.
-type caches struct {
+// controller state. All accessors are safe for concurrent use, so one
+// Caches may be shared by the parallel workers of internal/search (and
+// across sequential searches, to warm later runs).
+type Caches struct {
+	mu      sync.RWMutex
 	packets map[string][]openflow.Header      // host|loc|appKey → relevant packets
 	stats   map[string][][]openflow.PortStats // sw|appKey → stats variants
-	seRuns  int64                             // concolic explorations performed
+	seRuns  atomic.Int64                      // concolic explorations performed
 }
 
-func newCaches() *caches {
-	return &caches{
+// NewCaches builds an empty discover-cache set.
+func NewCaches() *Caches {
+	return &Caches{
 		packets: make(map[string][]openflow.Header),
 		stats:   make(map[string][][]openflow.PortStats),
 	}
+}
+
+// SERuns reports how many concolic explorations have been performed.
+func (c *Caches) SERuns() int64 { return c.seRuns.Load() }
+
+func (c *Caches) getPackets(key string) ([]openflow.Header, bool) {
+	c.mu.RLock()
+	v, ok := c.packets[key]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+// putPackets inserts a discovery result; the first writer wins, and the
+// canonical (winning) value is returned so racing workers agree.
+func (c *Caches) putPackets(key string, v []openflow.Header) []openflow.Header {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.packets[key]; ok {
+		return prev
+	}
+	c.packets[key] = v
+	return v
+}
+
+func (c *Caches) getStats(key string) ([][]openflow.PortStats, bool) {
+	c.mu.RLock()
+	v, ok := c.stats[key]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *Caches) putStats(key string, v [][]openflow.PortStats) [][]openflow.PortStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.stats[key]; ok {
+		return prev
+	}
+	c.stats[key] = v
+	return v
 }
 
 // System is one explored state of the modelled network: switches,
@@ -37,7 +82,7 @@ func newCaches() *caches {
 // the explored-state set.
 type System struct {
 	cfg    *Config
-	caches *caches
+	caches *Caches
 
 	switches map[openflow.SwitchID]*openflow.Switch
 	swIDs    []openflow.SwitchID
@@ -65,10 +110,17 @@ type System struct {
 // messages applied synchronously (the network is fully joined before
 // exploration starts; see DESIGN.md).
 func NewSystem(cfg *Config) *System {
-	return newSystem(cfg, newCaches())
+	return newSystem(cfg, NewCaches())
 }
 
-func newSystem(cfg *Config, cc *caches) *System {
+// NewSystemWith builds the initial state against a caller-supplied
+// discover-cache set. The parallel search engine uses it so all workers
+// share one memo; tests use it to warm caches across runs.
+func NewSystemWith(cfg *Config, cc *Caches) *System {
+	return newSystem(cfg, cc)
+}
+
+func newSystem(cfg *Config, cc *Caches) *System {
 	if cfg.Topo == nil || cfg.App == nil {
 		panic("core: Config.Topo and Config.App are required")
 	}
@@ -204,12 +256,12 @@ func (s *System) StateKey() string {
 	if !s.cfg.DisableSE {
 		for _, id := range s.hostIDs {
 			h := s.hosts[id]
-			if pkts, ok := s.caches.packets[s.packetsKey(h)]; ok {
+			if pkts, ok := s.caches.getPackets(s.packetsKey(h)); ok {
 				fmt.Fprintf(&b, "se:%d=%d\n", int(id), len(pkts))
 			}
 		}
 		for _, id := range s.swIDs {
-			if vs, ok := s.caches.stats[s.statsKey(id)]; ok {
+			if vs, ok := s.caches.getStats(s.statsKey(id)); ok {
 				fmt.Fprintf(&b, "ses:%d=%d\n", int(id), len(vs))
 			}
 		}
@@ -243,7 +295,7 @@ func (s *System) Enabled() []Transition {
 				for _, hdr := range h.NextRepertoire() {
 					ts = append(ts, Transition{Kind: THostSend, Host: id, Hdr: hdr})
 				}
-			} else if pkts, ok := s.caches.packets[s.packetsKey(h)]; ok {
+			} else if pkts, ok := s.caches.getPackets(s.packetsKey(h)); ok {
 				for _, hdr := range pkts {
 					ts = append(ts, Transition{Kind: THostSend, Host: id, Hdr: hdr})
 				}
@@ -263,7 +315,7 @@ func (s *System) Enabled() []Transition {
 	for _, sw := range s.ctrl.PendingIn() {
 		head, _ := s.ctrl.HeadIn(sw)
 		if head.Type == openflow.MsgStatsReply && !s.cfg.DisableSE && !s.cfg.NoDelay {
-			if variants, ok := s.caches.stats[s.statsKey(sw)]; ok {
+			if variants, ok := s.caches.getStats(s.statsKey(sw)); ok {
 				for _, v := range variants {
 					ts = append(ts, Transition{Kind: TCtrlProcessStats, Sw: sw, Stats: v})
 				}
@@ -401,11 +453,12 @@ func (s *System) Apply(t Transition) []Event {
 	case THostDiscover:
 		h := s.hosts[t.Host]
 		key := s.packetsKey(h)
-		if _, ok := s.caches.packets[key]; !ok {
-			s.caches.packets[key] = s.discoverPackets(h)
+		pkts, ok := s.caches.getPackets(key)
+		if !ok {
+			pkts = s.caches.putPackets(key, s.discoverPackets(h))
 		}
 		events = append(events, Event{Kind: EvCtrlDispatch, Host: t.Host,
-			Note: fmt.Sprintf("discover_packets: %d classes", len(s.caches.packets[key]))})
+			Note: fmt.Sprintf("discover_packets: %d classes", len(pkts))})
 	case THostMove:
 		h := s.hosts[t.Host]
 		old := h.Loc
@@ -432,11 +485,12 @@ func (s *System) Apply(t Transition) []Event {
 		s.noDelayFixpoint(&events)
 	case TCtrlDiscoverStats:
 		key := s.statsKey(t.Sw)
-		if _, ok := s.caches.stats[key]; !ok {
-			s.caches.stats[key] = s.discoverStats(t.Sw)
+		variants, ok := s.caches.getStats(key)
+		if !ok {
+			variants = s.caches.putStats(key, s.discoverStats(t.Sw))
 		}
 		events = append(events, Event{Kind: EvCtrlDispatch, Sw: t.Sw,
-			Note: fmt.Sprintf("discover_stats: %d classes", len(s.caches.stats[key]))})
+			Note: fmt.Sprintf("discover_stats: %d classes", len(variants))})
 	case TCtrlProcessStats:
 		msg, ok := s.ctrl.PopIn(t.Sw)
 		if !ok || msg.Type != openflow.MsgStatsReply {
@@ -667,7 +721,7 @@ func (s *System) drainControllerChannels(events *[]Event, boot bool) {
 // "new relevant packets". Handler effects land on a cloned application
 // and are discarded.
 func (s *System) discoverPackets(h *hosts.Host) []openflow.Header {
-	s.caches.seRuns++
+	s.caches.seRuns.Add(1)
 	loc := h.Loc
 	seed := h.Seed
 	seedAsn := sym.SymbolicPacket(seed, loc.Port).CurrentAssignment()
@@ -707,7 +761,7 @@ func (s *System) discoverPackets(h *hosts.Host) []openflow.Header {
 // with symbolic counters, returning one concrete stats vector per
 // feasible path (§3.3's discover_stats).
 func (s *System) discoverStats(swID openflow.SwitchID) [][]openflow.PortStats {
-	s.caches.seRuns++
+	s.caches.seRuns.Add(1)
 	ports := s.switches[swID].Ports
 	levels := s.cfg.statsLevels()
 	seedVals := make([]uint64, len(ports))

@@ -397,6 +397,19 @@ func lbGroup(h openflow.Header) (string, bool) {
 	return key, h.TCPFlags&openflow.TCPSyn != 0
 }
 
+// PyswitchBench is the pyswitch BUG-II Table 2 scenario scaled to
+// `sends` client packets, with the early stop removed so the whole
+// state space is walked — the workload BenchmarkParallelSearch and the
+// parallel-engine differential tests measure against. At sends=3 the
+// full search runs ~10k unique states, enough for worker scaling to
+// show.
+func PyswitchBench(sends int) *core.Config {
+	cfg := BugConfig(BugII)
+	cfg.StopAtFirstViolation = false
+	cfg.Hosts[0].SendBudget = sends
+	return cfg
+}
+
 // FixedConfig builds the same scenario as BugConfig but with the fully
 // repaired application, for asserting the fixes hold.
 func FixedConfig(b Bug) *core.Config {

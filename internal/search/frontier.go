@@ -1,0 +1,129 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nice-go/nice/internal/core"
+)
+
+// item is one unit of frontier work: an unexpanded system state plus
+// the replayable trace prefix that reached it. The trace doubles as the
+// depth (len) and as the reproduction recipe for any violation found
+// beneath it; prefixes share backing arrays because children are forked
+// with capacity-clamped appends (never mutated in place).
+type item struct {
+	sys   *core.System
+	trace []core.Transition
+}
+
+// frontier is the work-stealing scheduler: one deque per worker. The
+// owner pushes and pops at the tail (LIFO, so each worker runs
+// depth-first and the frontier stays compact); thieves steal from the
+// head, which holds the oldest — typically shallowest — states, giving
+// the breadth that spreads the search across cores.
+type frontier struct {
+	deques []deque
+	// pending counts items enqueued but not yet fully expanded. Zero
+	// means global termination: nothing queued and no worker mid-expand
+	// (workers decrement only after expanding, so any children are
+	// already counted).
+	pending atomic.Int64
+	stop    *atomic.Bool
+}
+
+type deque struct {
+	mu    sync.Mutex
+	head  int
+	items []item
+	// pad the struct to a 64-byte cache line (8-byte mutex + 8-byte
+	// head + 24-byte slice header + 24) so adjacent workers' deques
+	// don't false-share.
+	_ [24]byte
+}
+
+func newFrontier(workers int, stop *atomic.Bool) *frontier {
+	return &frontier{deques: make([]deque, workers), stop: stop}
+}
+
+// push enqueues a work item on worker w's deque.
+func (f *frontier) push(w int, it item) {
+	f.pending.Add(1)
+	d := &f.deques[w]
+	d.mu.Lock()
+	d.items = append(d.items, it)
+	d.mu.Unlock()
+}
+
+// popLocal takes the newest item from w's own deque (depth-first order).
+func (f *frontier) popLocal(w int) (item, bool) {
+	d := &f.deques[w]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.items) {
+		return item{}, false
+	}
+	it := d.items[len(d.items)-1]
+	d.items[len(d.items)-1] = item{} // release for GC
+	d.items = d.items[:len(d.items)-1]
+	if d.head == len(d.items) {
+		d.items = d.items[:0]
+		d.head = 0
+	}
+	return it, true
+}
+
+// steal takes the oldest item from some other worker's deque.
+func (f *frontier) steal(w int) (item, bool) {
+	n := len(f.deques)
+	for i := 1; i < n; i++ {
+		d := &f.deques[(w+i)%n]
+		d.mu.Lock()
+		if d.head < len(d.items) {
+			it := d.items[d.head]
+			d.items[d.head] = item{}
+			d.head++
+			if d.head == len(d.items) {
+				d.items = d.items[:0]
+				d.head = 0
+			}
+			d.mu.Unlock()
+			return it, true
+		}
+		d.mu.Unlock()
+	}
+	return item{}, false
+}
+
+// get returns the next item for worker w, stealing when its own deque
+// is dry. It returns false when the search is over: every item expanded
+// or the stop flag raised.
+func (f *frontier) get(w int) (item, bool) {
+	backoff := 0
+	for {
+		if f.stop.Load() {
+			return item{}, false
+		}
+		if it, ok := f.popLocal(w); ok {
+			return it, true
+		}
+		if it, ok := f.steal(w); ok {
+			return it, true
+		}
+		if f.pending.Load() == 0 {
+			return item{}, false
+		}
+		// Someone is still expanding; its children may land any moment.
+		backoff++
+		if backoff < 32 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// done marks one item fully expanded.
+func (f *frontier) done() { f.pending.Add(-1) }

@@ -1,0 +1,76 @@
+package search
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/nice-go/nice/internal/core"
+)
+
+// collector merges the violations found by concurrent workers into the
+// set the final Report carries: deduplicated by property + error text
+// and sorted, so a full search reports the same violations in the same
+// order no matter how the workers interleaved. Among the candidate
+// traces observed for one violation the shortest wins (ties broken by
+// the lexicographically smallest rendering); the kept trace always
+// replays deterministically, but its exact length may vary run to run —
+// which path first reaches a violating state is scheduling-dependent.
+type collector struct {
+	mu sync.Mutex
+	m  map[string]core.Violation
+}
+
+func newCollector() *collector {
+	return &collector{m: make(map[string]core.Violation)}
+}
+
+// add records a violation, keeping the best trace per property+error
+// key. (Stopping on StopAtFirstViolation is the caller's concern; like
+// the sequential checker, it stops on every recorded violation, new
+// key or not.)
+func (c *collector) add(v core.Violation) {
+	key := v.Property + "|" + v.Err.Error()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.m[key]
+	if !ok || better(v, prev) {
+		c.m[key] = v
+	}
+}
+
+// better prefers the shorter trace; on equal length, the smaller
+// canonical rendering.
+func better(a, b core.Violation) bool {
+	if len(a.Trace) != len(b.Trace) {
+		return len(a.Trace) < len(b.Trace)
+	}
+	return traceKey(a.Trace) < traceKey(b.Trace)
+}
+
+func traceKey(trace []core.Transition) string {
+	var sb strings.Builder
+	for _, t := range trace {
+		sb.WriteString(t.Key())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// violations returns the merged set in deterministic order: by
+// property name, then error text.
+func (c *collector) violations() []core.Violation {
+	c.mu.Lock()
+	out := make([]core.Violation, 0, len(c.m))
+	for _, v := range c.m {
+		out = append(out, v)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Property != out[j].Property {
+			return out[i].Property < out[j].Property
+		}
+		return out[i].Err.Error() < out[j].Err.Error()
+	})
+	return out
+}

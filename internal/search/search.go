@@ -1,0 +1,271 @@
+// Package search is the parallel state-space exploration engine: a
+// worker pool that explores the same core.System transition graph as
+// the sequential core.Checker, concurrently. The paper's searches run
+// millions of transitions (§7) and lean on hash-based state matching
+// precisely because the explored set dominates (§6); this engine keeps
+// those semantics — every state expanded once, properties checked on
+// every transition and at quiescence, the NO-DELAY/UNUSUAL/FLOW-IR
+// reductions honored unchanged (they live inside System.Enabled) — and
+// spreads the expansion over cores:
+//
+//   - a lock-striped seen-set keyed by System.Hash() (seenset.go),
+//   - per-worker frontiers with work-stealing, where each work item is
+//     a forked System plus the replayable trace prefix that reached it
+//     (frontier.go),
+//   - pluggable strategies: the default BFS/DFS hybrid (owners pop
+//     depth-first, thieves steal breadth-first) and seeded random-walk
+//     swarms (swarm.go),
+//   - a merged, deterministic Report: violations deduplicated by
+//     property + error, shortest trace wins (report.go).
+//
+// Workers=1 delegates to the sequential core.Checker, which stays the
+// reference oracle; search_test.go asserts differential parity between
+// the two on the paper's scenarios.
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nice-go/nice/internal/core"
+)
+
+// Strategy selects how the worker pool explores.
+type Strategy int
+
+const (
+	// Hybrid is the exhaustive parallel search: per-worker depth-first
+	// expansion over a work-stealing frontier whose steals are
+	// breadth-first. It visits exactly the states the sequential
+	// checker visits whenever state identity is schedule-independent —
+	// symbolic execution off, or discover caches warmed. On cold
+	// SE-enabled runs the counts can differ slightly (cache presence
+	// is part of the state hash and fills in schedule order); the
+	// violated-property set matches regardless.
+	Hybrid Strategy = iota
+	// Swarm runs seeded random walks in parallel (the paper's random
+	// walk mode, §1.3, scaled out). Walk i always uses seed Seed+i, so
+	// the walk set does not depend on the worker count when state
+	// identity is schedule-independent (SE off, or warm caches); cold
+	// SE-enabled walks share discover-cache fills, so trajectories may
+	// shift with scheduling.
+	Swarm
+)
+
+func (s Strategy) String() string {
+	if s == Swarm {
+		return "swarm"
+	}
+	return "hybrid"
+}
+
+// Options tunes a parallel search.
+type Options struct {
+	// Workers is the pool size; 0 means runtime.NumCPU(). 1 delegates
+	// the Hybrid strategy to the sequential core.Checker.
+	Workers int
+	// Strategy picks Hybrid (default) or Swarm.
+	Strategy Strategy
+	// Seed is the Swarm base seed (walk i uses Seed+i).
+	Seed int64
+	// Walks is the total number of Swarm walks (0 = 64).
+	Walks int
+	// Steps bounds transitions per Swarm walk (0 = 100).
+	Steps int
+	// Shards is the seen-set stripe count (0 = 256).
+	Shards int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+func (o Options) shards() int {
+	if o.Shards <= 0 {
+		return 256
+	}
+	return o.Shards
+}
+
+func (o Options) walks() int {
+	if o.Walks <= 0 {
+		return 64
+	}
+	return o.Walks
+}
+
+func (o Options) steps() int {
+	if o.Steps <= 0 {
+		return 100
+	}
+	return o.Steps
+}
+
+// Engine is one parallel search over a Config.
+type Engine struct {
+	cfg    *core.Config
+	opts   Options
+	caches *core.Caches
+}
+
+// New prepares a parallel search with fresh discover caches.
+func New(cfg *core.Config, opts Options) *Engine {
+	return NewWith(cfg, opts, core.NewCaches())
+}
+
+// NewWith prepares a parallel search against a caller-supplied cache
+// set — shared with a prior run to start warm, or with the sequential
+// checker for differential testing.
+func NewWith(cfg *core.Config, opts Options, cc *core.Caches) *Engine {
+	return &Engine{cfg: cfg, opts: opts, caches: cc}
+}
+
+// Run executes the search and returns the merged report.
+func Run(cfg *core.Config, workers int) *core.Report {
+	return New(cfg, Options{Workers: workers}).Run()
+}
+
+// Run executes the search and returns the merged report.
+func (e *Engine) Run() *core.Report {
+	if e.opts.Strategy == Swarm {
+		return e.runSwarm()
+	}
+	if e.opts.workers() == 1 {
+		return core.NewCheckerWith(e.cfg, e.caches).Run()
+	}
+	return e.runHybrid()
+}
+
+// hybridState is the counters and control shared by the Hybrid workers.
+type hybridState struct {
+	seen     *seenSet
+	frontier *frontier
+	viols    *collector
+
+	transitions atomic.Int64
+	unique      atomic.Int64
+	revisits    atomic.Int64
+	truncated   atomic.Int64
+
+	stop       atomic.Bool // StopAtFirstViolation or budget hit
+	incomplete atomic.Bool // MaxTransitions aborted the search
+}
+
+func (e *Engine) runHybrid() *core.Report {
+	workers := e.opts.workers()
+	start := time.Now()
+
+	st := &hybridState{
+		seen:  newSeenSet(e.opts.shards()),
+		viols: newCollector(),
+	}
+	st.frontier = newFrontier(workers, &st.stop)
+
+	root := core.NewSystemWith(e.cfg, e.caches)
+	st.seen.Add(root.Hash())
+	st.unique.Add(1)
+	st.frontier.push(0, item{sys: root})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				it, ok := st.frontier.get(w)
+				if !ok {
+					return
+				}
+				e.expand(w, it, st)
+				st.frontier.done()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	return &core.Report{
+		Transitions:  st.transitions.Load(),
+		UniqueStates: st.unique.Load(),
+		Revisits:     st.revisits.Load(),
+		Truncated:    st.truncated.Load(),
+		SERuns:       e.caches.SERuns(),
+		Violations:   st.viols.violations(),
+		Elapsed:      time.Since(start),
+		Complete:     !st.incomplete.Load(),
+	}
+}
+
+// expand processes one frontier item, mirroring the sequential
+// checker's per-state work (checker.go dfs): quiescence properties on
+// dead ends, depth truncation, then one clone+apply per enabled
+// transition with property checks, pushing unseen children. Violating
+// transitions are recorded and their subtrees pruned, exactly as the
+// paper's checker "saves the error and trace and does not explore past
+// a violating state".
+func (e *Engine) expand(w int, it item, st *hybridState) {
+	if st.stop.Load() {
+		return
+	}
+	enabled := it.sys.Enabled()
+	if len(enabled) == 0 {
+		for _, p := range it.sys.Properties() {
+			if err := p.AtQuiescence(it.sys); err != nil {
+				e.record(core.Violation{Property: p.Name(), Err: err,
+					Trace: it.trace, Quiescence: true}, st)
+			}
+		}
+		return
+	}
+	if len(it.trace) >= e.cfg.DepthBound() {
+		st.truncated.Add(1)
+		return
+	}
+
+	for _, t := range enabled {
+		if st.stop.Load() {
+			return
+		}
+		// Reserve the budget slot before applying, so the bound is
+		// exact even when workers race on the last transitions.
+		if n := st.transitions.Add(1); e.cfg.MaxTransitions > 0 && n > e.cfg.MaxTransitions {
+			st.transitions.Add(-1)
+			st.incomplete.Store(true)
+			st.stop.Store(true)
+			return
+		}
+		child := it.sys.Clone()
+		events := child.Apply(t)
+		// Capacity-clamped: forks for sibling transitions each copy,
+		// so concurrent workers never share a writable tail.
+		next := append(it.trace[:len(it.trace):len(it.trace)], t)
+
+		violated := false
+		for _, p := range child.Properties() {
+			if err := p.OnEvents(child, events); err != nil {
+				e.record(core.Violation{Property: p.Name(), Err: err, Trace: next}, st)
+				violated = true
+			}
+		}
+		if violated {
+			continue
+		}
+		if st.seen.Add(child.Hash()) {
+			st.unique.Add(1)
+			st.frontier.push(w, item{sys: child, trace: next})
+		} else {
+			st.revisits.Add(1)
+		}
+	}
+}
+
+func (e *Engine) record(v core.Violation, st *hybridState) {
+	st.viols.add(v)
+	if e.cfg.StopAtFirstViolation {
+		st.stop.Store(true)
+	}
+}

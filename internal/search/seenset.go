@@ -1,0 +1,69 @@
+package search
+
+import "sync"
+
+// seenSet is the explored-state set shared by all workers: a
+// lock-striped hash set keyed by System.Hash(). Striping keeps the
+// hot-path insert (one per reached state) from serializing the workers
+// on a single mutex.
+type seenSet struct {
+	shards []seenShard
+	mask   uint32
+}
+
+type seenShard struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+	// pad the struct to a 64-byte cache line (8-byte mutex + 8-byte
+	// map header + 48) so adjacent shards don't false-share.
+	_ [48]byte
+}
+
+// newSeenSet builds a set with the given shard count rounded up to a
+// power of two (minimum 1).
+func newSeenSet(shards int) *seenSet {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &seenSet{shards: make([]seenShard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]struct{})
+	}
+	return s
+}
+
+// Add inserts a state hash, reporting whether it was absent (i.e. this
+// caller owns the first visit and must expand the state).
+func (s *seenSet) Add(h string) bool {
+	sh := &s.shards[fnv32(h)&s.mask]
+	sh.mu.Lock()
+	_, dup := sh.m[h]
+	if !dup {
+		sh.m[h] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+// Len counts the states across all shards.
+func (s *seenSet) Len() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += int64(len(sh.m))
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// fnv32 is FNV-1a, picking the shard for a state hash.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

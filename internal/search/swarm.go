@@ -1,0 +1,109 @@
+package search
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nice-go/nice/internal/core"
+)
+
+// runSwarm scales the paper's random-walk mode (§1.3) across the
+// worker pool: Walks independent walks of at most Steps transitions,
+// distributed round-robin over the workers. Walk i is always driven by
+// rand seed Seed+i, so when state identity is schedule-independent
+// (symbolic execution off, or discover caches warmed) the set of walks
+// — and the violations reachable by any of them — is identical for
+// every worker count; only wall-clock time changes. Cold SE-enabled
+// walks share the discover caches, whose fill order shifts each walk's
+// enabled-transition sets, so their trajectories can vary with
+// scheduling. The workers share the striped seen-set (UniqueStates
+// counts distinct hashes across the whole swarm) and the violation
+// collector, and all stop at the first violation when the config asks.
+func (e *Engine) runSwarm() *core.Report {
+	workers := e.opts.workers()
+	walks := e.opts.walks()
+	steps := e.opts.steps()
+	start := time.Now()
+
+	seen := newSeenSet(e.opts.shards())
+	viols := newCollector()
+	var transitions atomic.Int64
+	var stop atomic.Bool
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < walks; i += workers {
+				if stop.Load() {
+					return
+				}
+				e.walk(e.opts.Seed+int64(i), steps, seen, viols, &transitions, &stop)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	return &core.Report{
+		Transitions:  transitions.Load(),
+		UniqueStates: seen.Len(),
+		SERuns:       e.caches.SERuns(),
+		Violations:   viols.violations(),
+		Elapsed:      time.Since(start),
+		Complete:     true,
+	}
+}
+
+// walk is one seeded random execution from the initial state, the same
+// shape as core.RandomWalk's inner loop.
+func (e *Engine) walk(seed int64, steps int, seen *seenSet, viols *collector,
+	transitions *atomic.Int64, stop *atomic.Bool) {
+	rng := rand.New(rand.NewSource(seed))
+	sys := core.NewSystemWith(e.cfg, e.caches)
+	var trace []core.Transition
+	for step := 0; step < steps; step++ {
+		if stop.Load() {
+			return
+		}
+		seen.Add(sys.Hash())
+		enabled := sys.Enabled()
+		if len(enabled) == 0 {
+			for _, p := range sys.Properties() {
+				if err := p.AtQuiescence(sys); err != nil {
+					e.recordSwarm(core.Violation{Property: p.Name(), Err: err,
+						Trace: cloneTrace(trace), Quiescence: true}, viols, stop)
+				}
+			}
+			return
+		}
+		t := enabled[rng.Intn(len(enabled))]
+		events := sys.Apply(t)
+		transitions.Add(1)
+		trace = append(trace, t)
+		violated := false
+		for _, p := range sys.Properties() {
+			if err := p.OnEvents(sys, events); err != nil {
+				e.recordSwarm(core.Violation{Property: p.Name(), Err: err,
+					Trace: cloneTrace(trace)}, viols, stop)
+				violated = true
+			}
+		}
+		if violated {
+			return
+		}
+	}
+}
+
+func (e *Engine) recordSwarm(v core.Violation, viols *collector, stop *atomic.Bool) {
+	viols.add(v)
+	if e.cfg.StopAtFirstViolation {
+		stop.Store(true)
+	}
+}
+
+func cloneTrace(trace []core.Transition) []core.Transition {
+	return append([]core.Transition(nil), trace...)
+}

@@ -56,6 +56,7 @@ import (
 	"github.com/nice-go/nice/internal/hosts"
 	"github.com/nice-go/nice/internal/openflow"
 	"github.com/nice-go/nice/internal/props"
+	"github.com/nice-go/nice/internal/search"
 	"github.com/nice-go/nice/internal/sym"
 	"github.com/nice-go/nice/internal/topo"
 )
@@ -211,6 +212,17 @@ func NewChecker(cfg *Config) *Checker { return core.NewChecker(cfg) }
 // Check runs a full depth-first search and returns the report — the
 // paper's default mode.
 func Check(cfg *Config) *Report { return core.NewChecker(cfg).Run() }
+
+// CheckParallel runs the same full search on the parallel
+// work-stealing engine (internal/search), spreading state expansion
+// over the given number of workers (0 = all CPUs). Workers=1 delegates
+// to the sequential reference checker, so CheckParallel(cfg, 1) ==
+// Check(cfg). Violated properties always match the sequential search
+// and every reported trace replays deterministically; unique-state and
+// transition counts match exactly when state identity is
+// schedule-independent (cfg.DisableSE, or warmed discover caches) and
+// can differ slightly on cold SE-enabled runs.
+func CheckParallel(cfg *Config, workers int) *Report { return search.Run(cfg, workers) }
 
 // NewSimulator boots a system for interactive stepping (§1.3's
 // "manually-driven, step-by-step system executions").
