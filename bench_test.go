@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"github.com/nice-go/nice"
+	"github.com/nice-go/nice/internal/bench"
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/scenarios"
 	"github.com/nice-go/nice/internal/search"
@@ -313,6 +315,60 @@ func BenchmarkStateHash(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = sys.Hash()
 	}
+}
+
+// BenchmarkHash compares the incremental fingerprint against the
+// reflective full-reserialization oracle on identical mid-search states
+// of the scaled pyswitch workload. Each measured op is one Fingerprint
+// of a freshly forked child (clone + one applied transition, which
+// dirties exactly the touched components); corpus rebuilding runs off
+// the clock. The incremental/oracle states-per-second ratio is the
+// BENCH trajectory's hash-speedup headline (≥2x required).
+func BenchmarkHash(b *testing.B) {
+	for _, mode := range []string{"incremental", "reflective-oracle"} {
+		b.Run(mode, func(b *testing.B) {
+			hc := bench.NewHashCorpus(mode == "reflective-oracle")
+			b.ReportAllocs()
+			b.ResetTimer()
+			i := 0
+			for n := 0; n < b.N; n++ {
+				if i == 0 {
+					b.StopTimer()
+					hc.Rebuild(n)
+					b.StartTimer()
+				}
+				_ = hc.Children[i].Fingerprint()
+				i = (i + 1) % bench.HashBatch
+			}
+			b.ReportMetric(float64(time.Second)/float64(b.Elapsed())*float64(b.N), "states-hashed/sec")
+		})
+	}
+}
+
+// BenchmarkStateKey contrasts the cached canonical rendering with the
+// old from-scratch render on a warm mid-search state.
+func BenchmarkStateKey(b *testing.B) {
+	sim := core.NewSimulator(scenarios.PyswitchBench(3))
+	for i := 0; i < 10; i++ {
+		enabled := sim.Enabled()
+		if len(enabled) == 0 {
+			break
+		}
+		sim.Step(i % len(enabled))
+	}
+	sys := sim.System()
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = sys.StateKey()
+		}
+	})
+	b.Run("reflective-oracle", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = sys.OracleKey()
+		}
+	})
 }
 
 // BenchmarkClone measures the per-transition state fork.

@@ -1,0 +1,97 @@
+// Command nice-bench runs the internal/bench performance harness: the
+// Table 2 scenario suite plus the scaled pyswitch and load-balancer
+// workloads, emitting machine-readable BENCH_<n>.json and optionally
+// gating against a checked-in baseline.
+//
+// Record a baseline:
+//
+//	go run ./cmd/nice-bench -pr 2 -out BENCH_2.json
+//
+// Gate CI against it (exit 1 on >20% states/sec regression):
+//
+//	go run ./cmd/nice-bench -baseline BENCH_2.json -tolerance 0.2 -out bench-ci.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nice-go/nice/internal/bench"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write the suite JSON to this path")
+		pr         = flag.Int("pr", 0, "trajectory index stamped into the output")
+		baseline   = flag.String("baseline", "", "compare gated workloads against this suite JSON")
+		tolerance  = flag.Float64("tolerance", 0.2, "allowed fractional states/sec drop before failing")
+		iters      = flag.Int("iters", 3, "best-of-N repeats for gated workloads")
+		workers    = flag.Int("workers", 0, "parallel-engine workers (0 = min(4, NumCPU))")
+		skipTable2 = flag.Bool("skip-table2", false, "skip the 44-cell Table 2 sweep")
+		minSpeedup = flag.Float64("min-hash-speedup", 0,
+			"fail unless hash/incremental beats hash/oracle by this factor (machine-independent; 0 = off)")
+	)
+	flag.Parse()
+
+	suite := bench.Run(bench.Options{
+		PR: *pr, Iters: *iters, Workers: *workers, SkipTable2: *skipTable2,
+	})
+
+	for _, r := range suite.Results {
+		gate := " "
+		if r.Gate {
+			gate = "*"
+		}
+		fmt.Printf("%s %-28s %8d states %9d trans %9.1fms %10.0f states/sec %6d violations\n",
+			gate, r.Name, r.UniqueStates, r.Transitions, r.WallMS, r.StatesPerSec, r.Violations)
+	}
+
+	if *out != "" {
+		if err := suite.WriteFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "nice-bench:", err)
+			os.Exit(2)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if *minSpeedup > 0 {
+		byName := make(map[string]bench.Result, len(suite.Results))
+		for _, r := range suite.Results {
+			byName[r.Name] = r
+		}
+		inc, orc := byName["hash/incremental"], byName["hash/oracle"]
+		if orc.StatesPerSec <= 0 {
+			fmt.Fprintln(os.Stderr, "nice-bench: hash probes missing from this run")
+			os.Exit(2)
+		}
+		ratio := inc.StatesPerSec / orc.StatesPerSec
+		if ratio < *minSpeedup {
+			fmt.Fprintf(os.Stderr,
+				"nice-bench: incremental hash speedup %.2fx is below the required %.2fx\n",
+				ratio, *minSpeedup)
+			os.Exit(1)
+		}
+		fmt.Printf("hash speedup gate passed: %.2fx >= %.2fx (within-run ratio, machine-independent)\n",
+			ratio, *minSpeedup)
+	}
+
+	if *baseline != "" {
+		base, err := bench.Load(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nice-bench:", err)
+			os.Exit(2)
+		}
+		regs := bench.Compare(base, suite, *tolerance)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "nice-bench: %d gated workload(s) regressed beyond %.0f%%:\n",
+				len(regs), *tolerance*100)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  ", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("perf gate passed: no gated workload regressed beyond %.0f%% of %s\n",
+			*tolerance*100, *baseline)
+	}
+}

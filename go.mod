@@ -1,3 +1,3 @@
 module github.com/nice-go/nice
 
-go 1.24
+go 1.23

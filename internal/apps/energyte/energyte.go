@@ -76,6 +76,7 @@ func (p Path) String() string {
 // App is the TE controller application.
 type App struct {
 	controller.BaseApp
+	controller.VersionCounter
 
 	fix  FixLevel
 	topo *topo.Topology
@@ -175,6 +176,7 @@ func (a *App) EnvApply(ctx *controller.Context, event string) {
 	if event != "poll_stats" || a.pollsLeft <= 0 {
 		return
 	}
+	a.BumpStateVersion()
 	a.pollsLeft--
 	ctx.RequestStats(a.ingress, openflow.PortNone)
 }
@@ -190,6 +192,7 @@ func (a *App) StatsReply(ctx *controller.Context, sw openflow.SwitchID, stats *s
 	if sw != a.ingress {
 		return
 	}
+	a.BumpStateVersion()
 	alwaysOnPort, _ := a.topo.LinkPort(a.ingress, a.egress)
 	wasHigh := a.high
 	a.high = ctx.If(stats.TxBytes(alwaysOnPort).Ge(sym.Concrete(a.threshold)))
@@ -251,6 +254,7 @@ func (a *App) PacketIn(ctx *controller.Context, sw openflow.SwitchID, pkt *sym.P
 	path, known := sym.LookupFlow(ctx.Trace(), a.flows, pkt)
 	if !known {
 		path = a.choosePath()
+		a.BumpStateVersion()
 		a.flowCount++
 		a.flows[flow] = path
 	}
@@ -328,6 +332,7 @@ func (a *App) installPath(ctx *controller.Context, p Path, pkt *sym.Packet, buf 
 		for _, sw := range sws[1:] {
 			waiting[ctx.Barrier(sw)] = true
 		}
+		a.BumpStateVersion()
 		a.pending = append(a.pending, pendingRelease{
 			Sw: a.ingress, Buf: buf, Out: firstOut, Waiting: waiting,
 		})
@@ -344,6 +349,7 @@ func (a *App) BarrierReply(ctx *controller.Context, _ openflow.SwitchID, xid int
 		if !p.Waiting[xid] {
 			continue
 		}
+		a.BumpStateVersion()
 		delete(p.Waiting, xid)
 		if len(p.Waiting) == 0 {
 			ctx.PacketOut(p.Sw, p.Buf, openflow.Output(p.Out))

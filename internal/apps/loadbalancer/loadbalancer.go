@@ -73,6 +73,7 @@ const (
 // App is the load-balancer controller application.
 type App struct {
 	controller.BaseApp
+	controller.VersionCounter
 
 	fix FixLevel
 
@@ -215,6 +216,7 @@ func (a *App) EnvApply(ctx *controller.Context, event string) {
 	if event != "reconfigure" || a.reconfigsLeft <= 0 {
 		return
 	}
+	a.BumpStateVersion()
 	a.reconfigsLeft--
 	a.oldPolicy = a.policy
 	a.policy = (a.policy + 1) % len(a.replicas)
@@ -339,6 +341,7 @@ func (a *App) handleConnection(ctx *controller.Context, pkt *sym.Packet, buf ope
 			// Mid-connection packet of an ongoing transfer.
 			choice = a.oldPolicy
 		}
+		a.BumpStateVersion()
 		a.inspected[flow] = choice
 	}
 

@@ -14,8 +14,8 @@ package pyswitch
 
 import (
 	"sort"
+	"strconv"
 
-	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/controller"
 	"github.com/nice-go/nice/internal/openflow"
 	"github.com/nice-go/nice/internal/sym"
@@ -36,6 +36,7 @@ const (
 // the per-switch MAC table of Figure 3's ctrl_state.
 type App struct {
 	controller.BaseApp
+	controller.VersionCounter
 
 	variant Variant
 	topo    *topo.Topology
@@ -72,7 +73,8 @@ func (a *App) Name() string {
 
 // Clone implements controller.App.
 func (a *App) Clone() controller.App {
-	c := &App{variant: a.variant, topo: a.topo, stPorts: a.stPorts,
+	c := &App{VersionCounter: a.VersionCounter,
+		variant: a.variant, topo: a.topo, stPorts: a.stPorts,
 		mactable: make(map[openflow.SwitchID]map[openflow.EthAddr]openflow.PortID, len(a.mactable))}
 	for sw, t := range a.mactable {
 		m := make(map[openflow.EthAddr]openflow.PortID, len(t))
@@ -84,19 +86,58 @@ func (a *App) Clone() controller.App {
 	return c
 }
 
-// StateKey implements controller.App.
-func (a *App) StateKey() string { return canon.String(a.mactable) }
+// StateKey implements controller.App with a hand-written sorted
+// rendering of the MAC table (the reflective canon.String walk this
+// replaces dominated AppKey cost; TestStateKeyMatchesCanon holds the two
+// to the same equality semantics).
+func (a *App) StateKey() string {
+	sws := make([]openflow.SwitchID, 0, len(a.mactable))
+	for sw := range a.mactable {
+		sws = append(sws, sw)
+	}
+	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	b := make([]byte, 0, 64)
+	b = append(b, '{')
+	for i, sw := range sws {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, int64(sw), 10)
+		b = append(b, ":{"...)
+		t := a.mactable[sw]
+		macs := make([]openflow.EthAddr, 0, len(t))
+		for mac := range t {
+			macs = append(macs, mac)
+		}
+		sort.Slice(macs, func(i, j int) bool { return macs[i] < macs[j] })
+		for j, mac := range macs {
+			if j > 0 {
+				b = append(b, ' ')
+			}
+			b = strconv.AppendUint(b, uint64(mac), 10)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, int64(t[mac]), 10)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	return string(b)
+}
 
 // SwitchJoin initializes the switch's MAC table (Figure 3 lines 17-19).
 func (a *App) SwitchJoin(_ *controller.Context, sw openflow.SwitchID) {
 	if _, ok := a.mactable[sw]; !ok {
+		a.BumpStateVersion()
 		a.mactable[sw] = make(map[openflow.EthAddr]openflow.PortID)
 	}
 }
 
 // SwitchLeave deletes it (lines 20-22).
 func (a *App) SwitchLeave(_ *controller.Context, sw openflow.SwitchID) {
-	delete(a.mactable, sw)
+	if _, ok := a.mactable[sw]; ok {
+		a.BumpStateVersion()
+		delete(a.mactable, sw)
+	}
 }
 
 // PortStatus purges MAC-table entries learned on a port that went down
@@ -109,6 +150,7 @@ func (a *App) PortStatus(ctx *controller.Context, sw openflow.SwitchID, port ope
 	}
 	for mac, p := range a.mactable[sw] {
 		if p == port {
+			a.BumpStateVersion()
 			delete(a.mactable[sw], mac)
 		}
 	}
@@ -134,6 +176,7 @@ func (a *App) PacketIn(ctx *controller.Context, sw openflow.SwitchID, pkt *sym.P
 
 	// Lines 6-7: learn the source port.
 	if !ctx.If(isBcastSrc) {
+		a.BumpStateVersion()
 		mactable[openflow.EthAddr(pkt.EthSrc().C)] = inport
 	}
 

@@ -1,7 +1,10 @@
 package pyswitch
 
 import (
+	"math/rand"
 	"testing"
+
+	"github.com/nice-go/nice/internal/canon"
 
 	"github.com/nice-go/nice/internal/controller"
 	"github.com/nice-go/nice/internal/openflow"
@@ -193,5 +196,48 @@ func TestSpanningTreePortsOnCycle(t *testing.T) {
 		if !found {
 			t.Errorf("host port of %v missing from flood set", sw)
 		}
+	}
+}
+
+// TestStateKeyMatchesCanon holds the hand-written StateKey encoder to
+// the reflective canon.String rendering of the same MAC table: two
+// tables render equal under one iff they render equal under the other,
+// across a spread of randomized table shapes.
+func TestStateKeyMatchesCanon(t *testing.T) {
+	tp, _, _ := topo.Linear(2)
+	rng := rand.New(rand.NewSource(11))
+	mk := func() *App {
+		a := New(Buggy, tp)
+		for sw := 1; sw <= rng.Intn(3); sw++ {
+			a.mactable[openflow.SwitchID(sw)] = make(map[openflow.EthAddr]openflow.PortID)
+			for m := 0; m < rng.Intn(4); m++ {
+				a.mactable[openflow.SwitchID(sw)][openflow.EthAddr(rng.Intn(6)*2)] =
+					openflow.PortID(rng.Intn(3) + 1)
+			}
+		}
+		return a
+	}
+	apps := make([]*App, 40)
+	for i := range apps {
+		apps[i] = mk()
+	}
+	for i, a := range apps {
+		for j, b := range apps {
+			handEq := a.StateKey() == b.StateKey()
+			canonEq := canon.String(a.mactable) == canon.String(b.mactable)
+			if handEq != canonEq {
+				t.Fatalf("apps %d/%d: hand-written equality %t, canon equality %t\nhand a: %s\nhand b: %s",
+					i, j, handEq, canonEq, a.StateKey(), b.StateKey())
+			}
+		}
+	}
+	// Version hook sanity: a learn bumps the version, rendering changes.
+	a := New(Buggy, tp)
+	ctx := newCtx()
+	a.SwitchJoin(ctx, 1)
+	v0 := a.StateVersion()
+	packetIn(a, ctx, ping(), 2)
+	if a.StateVersion() == v0 {
+		t.Error("PacketIn learn did not bump the state version")
 	}
 }

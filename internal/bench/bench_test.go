@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestHarnessRoundTrip runs a trimmed harness, writes and reloads the
+// JSON, and checks the gate logic in both directions.
+func TestHarnessRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled searches")
+	}
+	suite := Run(Options{PR: 0, Iters: 1, SkipTable2: true})
+
+	var gated int
+	for _, r := range suite.Results {
+		if r.UniqueStates <= 0 {
+			t.Errorf("%s: empty workload (states=%d)", r.Name, r.UniqueStates)
+		}
+		if r.StatesPerSec <= 0 {
+			t.Errorf("%s: states/sec not computed", r.Name)
+		}
+		if r.Gate {
+			gated++
+		}
+	}
+	if gated != 3 {
+		t.Errorf("expected 3 gated workloads, got %d", gated)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := suite.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Results) != len(suite.Results) || loaded.Schema != Schema {
+		t.Fatalf("round trip lost results: %d vs %d", len(loaded.Results), len(suite.Results))
+	}
+
+	// Same suite against itself: ratio 1.0, no regressions.
+	if regs := Compare(loaded, suite, 0.2); len(regs) != 0 {
+		t.Errorf("self-comparison regressed: %v", regs)
+	}
+	// A baseline 10x faster than reality must trip the gate.
+	inflated := *loaded
+	inflated.Results = append([]Result(nil), loaded.Results...)
+	for i := range inflated.Results {
+		if inflated.Results[i].Gate {
+			inflated.Results[i].StatesPerSec *= 10
+		}
+	}
+	if regs := Compare(&inflated, suite, 0.2); len(regs) != 3 {
+		t.Errorf("inflated baseline should regress all 3 gated workloads, got %v", regs)
+	}
+}
+
+// TestHashSpeedup is the tentpole acceptance bar: incremental
+// fingerprinting must hash at least 2x the states/sec of the
+// full-reserialization oracle on the scaled pyswitch workload, with
+// fewer allocations per state.
+func TestHashSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs hash probes")
+	}
+	inc, orc := HashProbe(false, 2048), HashProbe(true, 2048)
+	if inc.StatesPerSec < 2*orc.StatesPerSec {
+		t.Errorf("incremental hashes %.0f states/sec, below 2x oracle %.0f",
+			inc.StatesPerSec, orc.StatesPerSec)
+	}
+	if incA, orcA := inc.AllocObjects/uint64(inc.UniqueStates), orc.AllocObjects/uint64(orc.UniqueStates); incA >= orcA {
+		t.Errorf("incremental allocs/state %d not below oracle %d", incA, orcA)
+	}
+}

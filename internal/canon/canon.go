@@ -7,7 +7,6 @@ package canon
 
 import (
 	"fmt"
-	"hash/fnv"
 	"reflect"
 	"sort"
 	"strconv"
@@ -32,17 +31,15 @@ func String(v any) string {
 
 // Hash64 returns the FNV-1a 64-bit hash of the canonical rendering.
 func Hash64(v any) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(String(v)))
-	return h.Sum64()
+	return Hash64String(String(v))
 }
 
 // HashString hashes an already-canonical string with FNV-1a 128-bit,
-// returning a compact hex digest for explored-state sets.
+// returning a compact hex digest for explored-state sets. It is the
+// hex-string form of Hash128; fingerprint-based callers use the raw
+// Digest instead.
 func HashString(s string) string {
-	h := fnv.New128a()
-	h.Write([]byte(s))
-	return fmt.Sprintf("%x", h.Sum(nil))
+	return Hash128(s).Hex()
 }
 
 func writeValue(b *strings.Builder, v reflect.Value, seen map[uintptr]bool) {

@@ -1,0 +1,23 @@
+package canon
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+func TestHash128MatchesStdlib(t *testing.T) {
+	for _, s := range []string{"", "a", "hello world", "sw1 alive=true", string([]byte{0, 255, 128, 7})} {
+		h := fnv.New128a()
+		h.Write([]byte(s))
+		want := fmt.Sprintf("%x", h.Sum(nil))
+		if got := Hash128(s).Hex(); got != want {
+			t.Errorf("Hash128(%q).Hex() = %s, want %s", s, got, want)
+		}
+		h64 := fnv.New64a()
+		h64.Write([]byte(s))
+		if got := Hash64String(s); got != h64.Sum64() {
+			t.Errorf("Hash64String(%q) = %x, want %x", s, got, h64.Sum64())
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/openflow"
 	"github.com/nice-go/nice/internal/sym"
 )
@@ -50,6 +51,31 @@ type App interface {
 	Clone() App
 	StateKey() string
 }
+
+// Versioned is the AppKey dirty hook: applications that bump a version
+// counter at every state mutation implement it (embed VersionCounter),
+// and the runtime then caches the rendered StateKey until the version
+// moves. Applications without it get conservative invalidation — the
+// cache is dropped on every dispatched handler, mutating or not.
+type Versioned interface {
+	// StateVersion returns a counter that changes (strictly increases)
+	// whenever the application's hashable state mutates.
+	StateVersion() uint64
+}
+
+// VersionCounter is the embeddable implementation of Versioned. (The
+// field must not be named like the method, or embedding would shadow
+// the promoted StateVersion method — TestAppsImplementVersioned guards
+// this.) Handlers call BumpStateVersion at every mutation site;
+// value-copying clones (c := *a) carry the counter over, which is
+// correct because the clone starts in an identical state.
+type VersionCounter struct{ version uint64 }
+
+// BumpStateVersion marks one state mutation.
+func (s *VersionCounter) BumpStateVersion() { s.version++ }
+
+// StateVersion implements Versioned.
+func (s *VersionCounter) StateVersion() uint64 { return s.version }
 
 // EnvApp is implemented by applications with environment transitions —
 // out-of-band reconfiguration commands such as the load balancer's
@@ -203,6 +229,19 @@ type Runtime struct {
 	// are scheduler metadata, deliberately excluded from state hashes.
 	seq int
 	xid int
+
+	// Incremental-fingerprinting caches: the rendered application key
+	// (with its 64-bit hash and, for Versioned apps, the version it was
+	// rendered at) and the two channel renderings. Each is valid until
+	// the corresponding state mutates; Clone copies all three.
+	appKey      string
+	appKeyHash  uint64
+	appKeyValid bool
+	appVersion  uint64
+	inKey       string
+	inKeyValid  bool
+	outKey      string
+	outKeyValid bool
 }
 
 // NewRuntime wraps an application.
@@ -222,6 +261,15 @@ func (r *Runtime) Clone() *Runtime {
 		outQ: make(map[openflow.SwitchID][]openflow.Msg, len(r.outQ)),
 		seq:  r.seq,
 		xid:  r.xid,
+
+		appKey:      r.appKey,
+		appKeyHash:  r.appKeyHash,
+		appKeyValid: r.appKeyValid,
+		appVersion:  r.appVersion,
+		inKey:       r.inKey,
+		inKeyValid:  r.inKeyValid,
+		outKey:      r.outKey,
+		outKeyValid: r.outKeyValid,
 	}
 	for sw, q := range r.inQ {
 		c.inQ[sw] = cloneMsgs(q)
@@ -242,6 +290,7 @@ func cloneMsgs(q []openflow.Msg) []openflow.Msg {
 
 // DeliverToController enqueues a switch→controller message.
 func (r *Runtime) DeliverToController(m openflow.Msg) {
+	r.inKeyValid = false
 	r.inQ[m.Switch] = append(r.inQ[m.Switch], m)
 }
 
@@ -278,6 +327,7 @@ func (r *Runtime) PopIn(sw openflow.SwitchID) (openflow.Msg, bool) {
 	if len(q) == 0 {
 		return openflow.Msg{}, false
 	}
+	r.inKeyValid = false
 	m := q[0]
 	if len(q) == 1 {
 		delete(r.inQ, sw)
@@ -303,6 +353,7 @@ func (r *Runtime) PopOut(sw openflow.SwitchID) (openflow.Msg, bool) {
 	if len(q) == 0 {
 		return openflow.Msg{}, false
 	}
+	r.outKeyValid = false
 	m := q[0]
 	if len(q) == 1 {
 		delete(r.outQ, sw)
@@ -315,6 +366,9 @@ func (r *Runtime) PopOut(sw openflow.SwitchID) (openflow.Msg, bool) {
 // Emit stamps and enqueues handler-emitted messages onto the outbound
 // channels.
 func (r *Runtime) Emit(msgs []openflow.Msg) {
+	if len(msgs) > 0 {
+		r.outKeyValid = false
+	}
 	for _, m := range msgs {
 		r.seq++
 		m.Seq = r.seq
@@ -328,9 +382,19 @@ func (r *Runtime) NewContext() *Context {
 	return NewContext(func() int { r.xid++; return r.xid })
 }
 
+// appDirty marks a handler run: for apps without the Versioned dirty
+// hook the cached key is dropped unconditionally; Versioned apps keep
+// their cache until their version counter moves.
+func (r *Runtime) appDirty() {
+	if _, ok := r.App.(Versioned); !ok {
+		r.appKeyValid = false
+	}
+}
+
 // Dispatch executes the handler for one inbound message on the app,
 // returning the emitted messages (already enqueued via Emit).
 func (r *Runtime) Dispatch(m openflow.Msg) []openflow.Msg {
+	r.appDirty()
 	ctx := r.NewContext()
 	switch m.Type {
 	case openflow.MsgPacketIn:
@@ -356,6 +420,7 @@ func (r *Runtime) Dispatch(m openflow.Msg) []openflow.Msg {
 // DispatchStats executes the stats handler with checker-chosen concrete
 // stats values (the process_stats transition armed by discover_stats).
 func (r *Runtime) DispatchStats(sw openflow.SwitchID, stats []openflow.PortStats) []openflow.Msg {
+	r.appDirty()
 	ctx := r.NewContext()
 	r.App.StatsReply(ctx, sw, sym.ConcreteStats(stats))
 	r.Emit(ctx.Messages())
@@ -368,6 +433,7 @@ func (r *Runtime) DispatchEnv(event string) []openflow.Msg {
 	if !ok {
 		panic(fmt.Sprintf("controller: app %s has no environment events", r.App.Name()))
 	}
+	r.appDirty()
 	ctx := r.NewContext()
 	env.EnvApply(ctx, event)
 	r.Emit(ctx.Messages())
@@ -376,8 +442,23 @@ func (r *Runtime) DispatchEnv(event string) []openflow.Msg {
 
 // StateKey renders the controller component canonically: the app's own
 // canonical state plus both channel contents. seq/xid counters are
-// excluded (scheduler metadata; see DESIGN.md).
+// excluded (scheduler metadata; see DESIGN.md). All three parts come
+// from the incremental caches; RenderStateKey bypasses them.
 func (r *Runtime) StateKey() string {
+	var b strings.Builder
+	b.WriteString("app{")
+	b.WriteString(r.AppKey())
+	b.WriteString("} in{")
+	b.WriteString(r.InKey())
+	b.WriteString("} out{")
+	b.WriteString(r.OutKey())
+	b.WriteString("}")
+	return b.String()
+}
+
+// RenderStateKey rebuilds the controller key from scratch, ignoring all
+// caches (the differential-oracle path).
+func (r *Runtime) RenderStateKey() string {
 	var b strings.Builder
 	b.WriteString("app{")
 	b.WriteString(r.App.StateKey())
@@ -391,8 +472,54 @@ func (r *Runtime) StateKey() string {
 
 // AppKey renders only the application state — the key of the
 // relevant-packet cache (client.packets in Figure 5 is keyed by
-// "stringified controller state").
-func (r *Runtime) AppKey() string { return r.App.StateKey() }
+// "stringified controller state"). The rendering is cached: Versioned
+// apps re-render only when their version counter moves, other apps
+// whenever any handler has run since the last call.
+func (r *Runtime) AppKey() string {
+	if v, ok := r.App.(Versioned); ok {
+		if ver := v.StateVersion(); !r.appKeyValid || r.appVersion != ver {
+			r.fillAppKey()
+			r.appVersion = ver
+		}
+	} else if !r.appKeyValid {
+		r.fillAppKey()
+	}
+	return r.appKey
+}
+
+func (r *Runtime) fillAppKey() {
+	r.appKey = r.App.StateKey()
+	r.appKeyHash = canon.Hash64String(r.appKey)
+	r.appKeyValid = true
+}
+
+// AppKeyHash64 returns the cached 64-bit hash of AppKey.
+func (r *Runtime) AppKeyHash64() uint64 {
+	r.AppKey()
+	return r.appKeyHash
+}
+
+// InKey renders the switch→controller channel contents (cached).
+func (r *Runtime) InKey() string {
+	if !r.inKeyValid {
+		var b strings.Builder
+		writeQueues(&b, r.inQ)
+		r.inKey = b.String()
+		r.inKeyValid = true
+	}
+	return r.inKey
+}
+
+// OutKey renders the controller→switch channel contents (cached).
+func (r *Runtime) OutKey() string {
+	if !r.outKeyValid {
+		var b strings.Builder
+		writeQueues(&b, r.outQ)
+		r.outKey = b.String()
+		r.outKeyValid = true
+	}
+	return r.outKey
+}
 
 func writeQueues(b *strings.Builder, m map[openflow.SwitchID][]openflow.Msg) {
 	for _, sw := range sortedKeys(m) {

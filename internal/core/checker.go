@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"github.com/nice-go/nice/internal/canon"
 )
 
 // Violation is one property failure: what failed, why, and the
@@ -67,7 +69,7 @@ type Checker struct {
 	cfg    *Config
 	caches *Caches
 
-	explored map[string]bool
+	explored map[canon.Digest]bool
 	report   *Report
 	seenViol map[string]bool
 	stopped  bool
@@ -92,7 +94,7 @@ func (c *Checker) Caches() *Caches { return c.caches }
 // transitions, hash-match states, arm discover transitions, check
 // properties after every transition and at quiescent states.
 func (c *Checker) Run() *Report {
-	c.explored = make(map[string]bool)
+	c.explored = make(map[canon.Digest]bool)
 	c.report = &Report{Complete: true}
 	c.seenViol = make(map[string]bool)
 	c.stopped = false
@@ -110,7 +112,7 @@ func (c *Checker) dfs(sys *System, trace []Transition) {
 	if c.stopped {
 		return
 	}
-	h := sys.Hash()
+	h := sys.Fingerprint()
 	if c.explored[h] {
 		c.report.Revisits++
 		return

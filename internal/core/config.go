@@ -107,6 +107,11 @@ type Config struct {
 	// MicroSteps switches process_pkt to one-packet-per-channel
 	// granularity (the fine-grained baseline of DESIGN.md §2(3)).
 	MicroSteps bool
+	// OracleHash makes Fingerprint hash the full from-scratch state
+	// serialization instead of combining cached component hashes — the
+	// reflective-oracle baseline the incremental fingerprint is
+	// differentially tested (and benchmarked) against.
+	OracleHash bool
 
 	// --- Budgets ---
 

@@ -133,5 +133,26 @@ type Property interface {
 	AtQuiescence(sys *System) error
 	// StateKey folds the property's local state into the system hash so
 	// state matching never merges states the property distinguishes.
+	// Implementations may memoize it; those that do should also
+	// implement FreshKeyer so the differential oracle can bypass the
+	// memo.
 	StateKey() string
+}
+
+// FreshKeyer is implemented by properties whose StateKey is memoized:
+// RenderStateKey re-renders from scratch, ignoring the memo. The oracle
+// hash path (OracleKey / VerifyCaches) uses it so a missing
+// cache-invalidation hook in a property shows up as a divergence
+// instead of poisoning both hash modes identically.
+type FreshKeyer interface {
+	RenderStateKey() string
+}
+
+// propKeyFor returns a property's state key, bypassing any memo when
+// fresh is set.
+func propKeyFor(p Property, fresh bool) string {
+	if fk, ok := p.(FreshKeyer); ok && fresh {
+		return fk.RenderStateKey()
+	}
+	return p.StateKey()
 }

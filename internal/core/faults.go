@@ -127,6 +127,7 @@ func (s *System) applyFault(t Transition) []Event {
 		s.faults.switchFails++
 		sw := s.switches[t.Sw]
 		sw.Alive = false
+		sw.MarkDirty() // Alive and Table are mutated directly below
 		// The failed switch loses its soft state: rules, queued
 		// packets and buffered packets are gone (environment loss),
 		// and its ports — including the far ends of its links — go

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nice-go/nice/internal/canon"
+)
+
+// Fingerprint returns the fixed-width 128-bit identity of the state —
+// the key of every explored-state set. Instead of re-serializing the
+// whole system per state (the paper hashes a full cPickle serialization,
+// §6; the seed code walked everything through reflection), it combines
+// the cached per-component hashes maintained by dirty-tracking at the
+// mutation sites: a switch, host or controller component that did not
+// change since the last state renders exactly nothing.
+//
+// With Config.OracleHash set, the fingerprint is instead the hash of the
+// full from-scratch serialization (OracleKey). States with equal
+// component keys produce equal fingerprints in both modes; the modes
+// differ only in their (improbable) hash-collision surfaces — the
+// incremental path compresses each component to 64 bits before
+// combining, so a cross-component 64-bit collision could merge states
+// the oracle distinguishes. The differential tests assert the search
+// reports agree in practice; a one-mode-only count divergence therefore
+// means either a missing dirty hook (VerifyCaches pinpoints it) or a
+// component-hash collision.
+func (s *System) Fingerprint() canon.Digest {
+	if s.cfg.OracleHash {
+		return canon.Hash128(s.OracleKey())
+	}
+	h := canon.NewHasher()
+	canonical := s.cfg.canonicalTables()
+	hashCounters := s.cfg.HashCounters || s.cfg.NoSwitchReduction
+	for _, id := range s.swIDs {
+		h.WriteUint64(s.switches[id].KeyHash64(canonical, hashCounters))
+	}
+	h.WriteUint64(s.ctrl.AppKeyHash64())
+	h.WriteSep('|')
+	h.WriteString(s.ctrl.InKey())
+	h.WriteSep('|')
+	h.WriteString(s.ctrl.OutKey())
+	h.WriteSep('|')
+	for _, id := range s.hostIDs {
+		h.WriteUint64(s.hosts[id].KeyHash64())
+	}
+	// Properties mutate outside Apply (OnEvents runs on the checker's
+	// side), so their small keys are rendered per state rather than
+	// dirty-tracked.
+	for _, p := range s.props {
+		h.WriteString(p.Name())
+		h.WriteSep(':')
+		h.WriteString(p.StateKey())
+		h.WriteSep('\n')
+	}
+	if !s.cfg.DisableSE {
+		appKey := s.ctrl.AppKey()
+		for _, id := range s.hostIDs {
+			host := s.hosts[id]
+			if pkts, ok := s.caches.getPackets(s.packetsKeyWith(host, appKey)); ok {
+				h.WriteString("se:")
+				h.WriteInt(int(id))
+				h.WriteSep('=')
+				h.WriteInt(len(pkts))
+				h.WriteSep('\n')
+			}
+		}
+		for _, id := range s.swIDs {
+			if vs, ok := s.caches.getStats(s.statsKeyWith(id, appKey)); ok {
+				h.WriteString("ses:")
+				h.WriteInt(int(id))
+				h.WriteSep('=')
+				h.WriteInt(len(vs))
+				h.WriteSep('\n')
+			}
+		}
+	}
+	h.WriteString("fg:")
+	h.WriteString(s.lastGroup)
+	h.WriteSep(' ')
+	writeGroupCounts(&h, s.groupCounts)
+	h.WriteSep(' ')
+	h.WriteString(s.faults.key())
+	return h.Sum()
+}
+
+// writeGroupCounts feeds the FLOW-IR instance counters into the hasher
+// in sorted key order (deterministic, reflection-free).
+func writeGroupCounts(h *canon.Hasher, counts map[string]int) {
+	if len(counts) == 0 {
+		h.WriteString("{}")
+		return
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h.WriteSep('{')
+	for i, k := range keys {
+		if i > 0 {
+			h.WriteSep(' ')
+		}
+		h.WriteString(k)
+		h.WriteSep(':')
+		h.WriteInt(counts[k])
+	}
+	h.WriteSep('}')
+}
+
+// VerifyCaches cross-checks every component's cached canonical key
+// against a from-scratch render, returning an error describing the first
+// divergence. Stress tests walk transition sequences and call it after
+// every step; a failure means a mutation path is missing its
+// dirty-tracking hook.
+func (s *System) VerifyCaches() error {
+	cached := s.StateKey()
+	fresh := s.OracleKey()
+	if cached == fresh {
+		return nil
+	}
+	// Narrow the report to the first diverging line for debuggability.
+	i := 0
+	for i < len(cached) && i < len(fresh) && cached[i] == fresh[i] {
+		i++
+	}
+	lo := i - 60
+	if lo < 0 {
+		lo = 0
+	}
+	hiC, hiF := i+60, i+60
+	if hiC > len(cached) {
+		hiC = len(cached)
+	}
+	if hiF > len(fresh) {
+		hiF = len(fresh)
+	}
+	return fmt.Errorf("core: stale component cache at byte %d:\n  cached: …%s…\n  fresh:  …%s…",
+		i, cached[lo:hiC], fresh[lo:hiF])
+}

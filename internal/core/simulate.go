@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
+
+	"github.com/nice-go/nice/internal/canon"
 )
 
 // Simulator drives manually-chosen, step-by-step system executions — the
@@ -63,14 +65,14 @@ func RandomWalk(cfg *Config, seed int64, walks, maxSteps int) *Report {
 	rng := rand.New(rand.NewSource(seed))
 	cc := NewCaches()
 	report := &Report{Complete: true}
-	seen := make(map[string]bool)
+	seen := make(map[canon.Digest]bool)
 	seenViol := make(map[string]bool)
 
 	for w := 0; w < walks; w++ {
 		sys := newSystem(cfg, cc)
 		var trace []Transition
 		for step := 0; step < maxSteps; step++ {
-			h := sys.Hash()
+			h := sys.Fingerprint()
 			if !seen[h] {
 				seen[h] = true
 				report.UniqueStates++

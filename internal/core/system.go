@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -230,38 +231,61 @@ func (s *System) Config() *Config { return s.cfg }
 // Properties exposes this state's property instances.
 func (s *System) Properties() []Property { return s.props }
 
-// StateKey renders the full system state canonically.
-func (s *System) StateKey() string {
+// StateKey renders the full system state canonically, reusing the
+// per-component key caches (which hold exactly the same strings a fresh
+// render produces; OracleKey re-renders everything to prove it).
+func (s *System) StateKey() string { return s.renderStateKey(false) }
+
+// OracleKey renders the full system state from scratch, bypassing every
+// component cache — the reference the incremental fingerprint is
+// differentially tested against.
+func (s *System) OracleKey() string { return s.renderStateKey(true) }
+
+func (s *System) renderStateKey(fresh bool) string {
 	var b strings.Builder
+	canonical := s.cfg.canonicalTables()
 	hashCounters := s.cfg.HashCounters || s.cfg.NoSwitchReduction
 	for _, id := range s.swIDs {
-		b.WriteString(s.switches[id].StateKey(s.cfg.canonicalTables(), hashCounters))
+		if fresh {
+			b.WriteString(s.switches[id].RenderStateKey(canonical, hashCounters))
+		} else {
+			b.WriteString(s.switches[id].StateKey(canonical, hashCounters))
+		}
 		b.WriteByte('\n')
 	}
-	b.WriteString(s.ctrl.StateKey())
+	if fresh {
+		b.WriteString(s.ctrl.RenderStateKey())
+	} else {
+		b.WriteString(s.ctrl.StateKey())
+	}
 	b.WriteByte('\n')
 	for _, id := range s.hostIDs {
-		b.WriteString(s.hosts[id].StateKey())
+		if fresh {
+			b.WriteString(s.hosts[id].RenderStateKey())
+		} else {
+			b.WriteString(s.hosts[id].StateKey())
+		}
 		b.WriteByte('\n')
 	}
 	for _, p := range s.props {
 		b.WriteString(p.Name())
 		b.WriteByte(':')
-		b.WriteString(p.StateKey())
+		b.WriteString(propKeyFor(p, fresh))
 		b.WriteByte('\n')
 	}
 	// The relevant-packet caches gate which transitions are enabled
 	// (discover vs send), so cache presence for the *current* state is
 	// part of its identity — mirroring Figure 5's client.packets map.
 	if !s.cfg.DisableSE {
+		appKey := s.appKeyFor(fresh)
 		for _, id := range s.hostIDs {
 			h := s.hosts[id]
-			if pkts, ok := s.caches.getPackets(s.packetsKey(h)); ok {
+			if pkts, ok := s.caches.getPackets(s.packetsKeyWith(h, appKey)); ok {
 				fmt.Fprintf(&b, "se:%d=%d\n", int(id), len(pkts))
 			}
 		}
 		for _, id := range s.swIDs {
-			if vs, ok := s.caches.getStats(s.statsKey(id)); ok {
+			if vs, ok := s.caches.getStats(s.statsKeyWith(id, appKey)); ok {
 				fmt.Fprintf(&b, "ses:%d=%d\n", int(id), len(vs))
 			}
 		}
@@ -270,16 +294,44 @@ func (s *System) StateKey() string {
 	return b.String()
 }
 
-// Hash returns the compact digest used by the explored-state set
-// (hash-based state matching, §6).
-func (s *System) Hash() string { return canon.HashString(s.StateKey()) }
+// appKeyFor returns the application key, cached or freshly rendered.
+func (s *System) appKeyFor(fresh bool) string {
+	if fresh {
+		return s.ctrl.App.StateKey()
+	}
+	return s.ctrl.AppKey()
+}
+
+// Hash returns the hex digest form of Fingerprint (hash-based state
+// matching, §6); the explored-state sets use the raw Fingerprint.
+func (s *System) Hash() string { return s.Fingerprint().Hex() }
 
 func (s *System) packetsKey(h *hosts.Host) string {
-	return fmt.Sprintf("%d|%v|%s", int(h.ID), h.Loc, s.ctrl.AppKey())
+	return s.packetsKeyWith(h, s.ctrl.AppKey())
+}
+
+func (s *System) packetsKeyWith(h *hosts.Host, appKey string) string {
+	b := make([]byte, 0, 24+len(appKey))
+	b = strconv.AppendInt(b, int64(h.ID), 10)
+	b = append(b, "|s"...)
+	b = strconv.AppendInt(b, int64(h.Loc.Sw), 10)
+	b = append(b, ":p"...)
+	b = strconv.AppendInt(b, int64(h.Loc.Port), 10)
+	b = append(b, '|')
+	b = append(b, appKey...)
+	return string(b)
 }
 
 func (s *System) statsKey(sw openflow.SwitchID) string {
-	return fmt.Sprintf("%d|%s", int(sw), s.ctrl.AppKey())
+	return s.statsKeyWith(sw, s.ctrl.AppKey())
+}
+
+func (s *System) statsKeyWith(sw openflow.SwitchID, appKey string) string {
+	b := make([]byte, 0, 12+len(appKey))
+	b = strconv.AppendInt(b, int64(sw), 10)
+	b = append(b, '|')
+	b = append(b, appKey...)
+	return string(b)
 }
 
 // Enabled enumerates the enabled transitions in deterministic order,

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/openflow"
 	"github.com/nice-go/nice/internal/topo"
 )
@@ -70,7 +71,19 @@ type Host struct {
 	// SentCount / Received record activity for properties and replies.
 	SentCount int
 	Received  []openflow.Header
+
+	// key caches the canonical StateKey and its 64-bit hash for
+	// incremental state fingerprinting: valid until the next mutating
+	// method runs, copied by Clone so unchanged hosts are not
+	// re-rendered as the search forks. Code that mutates exported
+	// fields directly after a StateKey call must call Invalidate.
+	key      string
+	keyHash  uint64
+	keyValid bool
 }
+
+// Invalidate drops the cached StateKey rendering.
+func (h *Host) Invalidate() { h.keyValid = false }
 
 // Clone deep-copies the host state.
 func (h *Host) Clone() *Host {
@@ -110,6 +123,7 @@ func (h *Host) CanReply() bool {
 
 // ConsumeSend debits the budgets for one client send.
 func (h *Host) ConsumeSend() {
+	h.Invalidate()
 	h.SendBudget--
 	if h.Credits != UnlimitedCredits {
 		h.Credits--
@@ -122,6 +136,7 @@ func (h *Host) ConsumeSend() {
 
 // TakeReply pops the pending reply head and debits the credit counter.
 func (h *Host) TakeReply() openflow.Header {
+	h.Invalidate()
 	r := h.PendingReplies[0]
 	h.PendingReplies = append([]openflow.Header(nil), h.PendingReplies[1:]...)
 	if h.Credits != UnlimitedCredits {
@@ -135,6 +150,7 @@ func (h *Host) TakeReply() openflow.Header {
 // default PKT-SEQ behaviour: "increase c by one unit for every received
 // packet"), and queues a reply if the host replies to this packet.
 func (h *Host) Receive(pkt openflow.Header) {
+	h.Invalidate()
 	h.Received = append(h.Received, pkt)
 	if h.Credits != UnlimitedCredits {
 		h.Credits++
@@ -153,13 +169,34 @@ func (h *Host) Move() (topo.PortKey, bool) {
 	if len(h.MoveTargets) == 0 {
 		return topo.PortKey{}, false
 	}
+	h.Invalidate()
 	h.Loc = h.MoveTargets[0]
 	h.MoveTargets = append([]topo.PortKey(nil), h.MoveTargets[1:]...)
 	return h.Loc, true
 }
 
-// StateKey renders the host state canonically for hashing.
+// StateKey renders the host state canonically for hashing, reusing the
+// cached rendering when no mutation happened since the last call.
 func (h *Host) StateKey() string {
+	if h.keyValid {
+		return h.key
+	}
+	h.key = h.RenderStateKey()
+	h.keyHash = canon.Hash64String(h.key)
+	h.keyValid = true
+	return h.key
+}
+
+// KeyHash64 returns the cached 64-bit hash of StateKey — the component
+// hash System.Fingerprint combines.
+func (h *Host) KeyHash64() uint64 {
+	h.StateKey()
+	return h.keyHash
+}
+
+// RenderStateKey rebuilds the canonical state key from scratch, ignoring
+// the cache (the differential-oracle path).
+func (h *Host) RenderStateKey() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "host%d@%v budget=%d credits=%d replies=%d sent=%d rep=%d",
 		int(h.ID), h.Loc, h.SendBudget, h.Credits, h.ReplyBudget, h.SentCount, h.RepIdx)

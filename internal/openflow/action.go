@@ -2,7 +2,6 @@ package openflow
 
 import (
 	"fmt"
-	"strings"
 )
 
 // ActionType enumerates the forwarding actions of the simplified switch
@@ -72,14 +71,8 @@ func (a Action) String() string {
 // ActionsKey renders an action list canonically (list order is semantic,
 // so the key preserves it).
 func ActionsKey(actions []Action) string {
-	if len(actions) == 0 {
-		return "drop"
-	}
-	parts := make([]string, len(actions))
-	for i, a := range actions {
-		parts[i] = a.String()
-	}
-	return strings.Join(parts, ";")
+	var buf [128]byte
+	return string(appendActionsKey(buf[:0], actions))
 }
 
 // CloneActions deep-copies an action list.

@@ -1,7 +1,6 @@
 package openflow
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 )
@@ -41,8 +40,8 @@ func (r Rule) CloneRule() Rule {
 // Key renders the rule canonically, excluding counters (counters are
 // bookkeeping, not semantics; see FlowTable.CanonicalKey).
 func (r Rule) Key() string {
-	return fmt.Sprintf("prio=%d match=[%s] actions=[%s] idle=%d hard=%d",
-		r.Priority, r.Match.Key(), ActionsKey(r.Actions), r.IdleTimeout, r.HardTimeout)
+	var buf [256]byte
+	return string(r.appendKey(buf[:0]))
 }
 
 func (r Rule) String() string { return r.Key() }
@@ -208,11 +207,8 @@ func (t *FlowTable) InsertionOrderKey(includeCounters bool) string {
 }
 
 func (t *FlowTable) ruleStateKey(r Rule, includeCounters bool) string {
-	if includeCounters {
-		return fmt.Sprintf("%s n=%d b=%d age=%d idle=%d",
-			r.Key(), r.PacketCount, r.ByteCount, r.Age, r.IdleAge)
-	}
-	return r.Key()
+	var buf [288]byte
+	return string(r.appendStateKey(buf[:0], includeCounters))
 }
 
 func (t *FlowTable) String() string {

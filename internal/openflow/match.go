@@ -2,7 +2,6 @@ package openflow
 
 import (
 	"fmt"
-	"strings"
 )
 
 // Field enumerates the matchable header fields (the OpenFlow 1.0
@@ -320,31 +319,16 @@ func (m Match) Key() string {
 	if m.present == 0 {
 		return "*"
 	}
-	var b strings.Builder
-	first := true
-	for f := Field(0); int(f) < numMatchable; f++ {
-		if !m.Has(f) {
-			continue
-		}
-		if !first {
-			b.WriteByte(',')
-		}
-		first = false
-		switch f {
-		case FieldIPSrc:
-			fmt.Fprintf(&b, "%v=%s/%d", f, IPAddr(uint32(m.values[f])), m.ipSrcBits)
-		case FieldIPDst:
-			fmt.Fprintf(&b, "%v=%s/%d", f, IPAddr(uint32(m.values[f])), m.ipDstBits)
-		case FieldEthSrc, FieldEthDst:
-			fmt.Fprintf(&b, "%v=%s", f, EthAddr(m.values[f]))
-		default:
-			fmt.Fprintf(&b, "%v=%d", f, m.values[f])
-		}
-	}
-	return b.String()
+	var buf [160]byte
+	return string(m.appendKey(buf[:0]))
 }
 
 func (m Match) String() string { return m.Key() }
+
+// CanonicalString implements canon.Stringer, so reflective canonical
+// rendering of values embedding a Match delegates to the hand-written
+// encoder.
+func (m Match) CanonicalString() string { return m.Key() }
 
 // ExactMatch builds the microflow match for a header observed on inPort:
 // every matchable field pinned to the packet's value. This is the common

@@ -202,14 +202,6 @@ func (m Msg) String() string {
 // Key renders the message canonically for state hashing. Unlike String,
 // packet headers render losslessly.
 func (m Msg) Key() string {
-	switch m.Type {
-	case MsgPacketOut:
-		return fmt.Sprintf("packet_out buf=%d pkt=%s in=%d actions=[%s]",
-			m.Buffer, m.Packet.Header.Key(), int(m.InPort), ActionsKey(m.Actions))
-	case MsgPacketIn:
-		return fmt.Sprintf("packet_in %d port=%d buf=%d reason=%s pkt=%s",
-			int(m.Switch), int(m.InPort), m.Buffer, m.Reason, m.Packet.Header.Key())
-	default:
-		return m.String()
-	}
+	var buf [256]byte
+	return string(m.appendKey(buf[:0]))
 }

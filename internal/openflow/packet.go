@@ -180,10 +180,8 @@ func (h Header) String() string {
 // must use. String is a pretty, lossy rendering for humans; hashing with
 // it would merge states that differ in unprinted fields.
 func (h Header) Key() string {
-	return fmt.Sprintf("%x|%x|%x|%x|%x|%x|%x|%x|%x|%x|%x|%x|%x|%x|%s",
-		uint64(h.EthSrc), uint64(h.EthDst), h.EthType, h.VLAN, h.VLANPCP,
-		uint32(h.IPSrc), uint32(h.IPDst), h.IPProto, h.IPTOS,
-		h.TPSrc, h.TPDst, h.TCPFlags, h.TCPSeq, h.ArpOp, h.Payload)
+	var buf [96]byte
+	return string(h.appendKey(buf[:0]))
 }
 
 func tcpFlagString(f uint8) string {

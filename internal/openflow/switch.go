@@ -3,7 +3,9 @@ package openflow
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
+
+	"github.com/nice-go/nice/internal/canon"
 )
 
 // IDAlloc hands out fresh PacketIDs. It is part of the modelled system
@@ -102,8 +104,24 @@ type Switch struct {
 	buffer  []BufEntry
 	nextBuf BufferID
 
-	// Alive is false after an (optional) switch failure.
+	// Alive is false after an (optional) switch failure. Core code that
+	// flips it directly must call MarkDirty afterwards.
 	Alive bool
+
+	// key is the incremental-fingerprinting cache: the canonical state
+	// key and its 64-bit hash, valid until the next mutation. Clone
+	// copies it (a clone starts in an identical state), so unchanged
+	// switches are never re-rendered as the search forks.
+	key switchKeyCache
+}
+
+// switchKeyCache caches one rendered StateKey with its parameters.
+type switchKeyCache struct {
+	str       string
+	hash      uint64
+	valid     bool
+	canonical bool
+	counters  bool
 }
 
 // NewSwitch builds a switch with the given ports (order irrelevant; they
@@ -122,8 +140,14 @@ func NewSwitch(id SwitchID, ports []PortID) *Switch {
 	}
 }
 
+// MarkDirty invalidates the cached state key. Every mutating method
+// calls it; callers that mutate exported fields (Alive, Table) directly
+// must call it themselves.
+func (s *Switch) MarkDirty() { s.key.valid = false }
+
 // SetPortUp sets a port's link state.
 func (s *Switch) SetPortUp(p PortID, isUp bool) {
+	s.MarkDirty()
 	if isUp {
 		s.up[p] = true
 	} else {
@@ -145,6 +169,7 @@ func (s *Switch) Clone() *Switch {
 		buffer:  make([]BufEntry, len(s.buffer)),
 		nextBuf: s.nextBuf,
 		Alive:   s.Alive,
+		key:     s.key,
 	}
 	for p, q := range s.in {
 		c.in[p] = append([]Packet(nil), q...)
@@ -171,6 +196,7 @@ func (s *Switch) Enqueue(p PortID, pkt Packet) {
 	if !s.HasPort(p) {
 		panic(fmt.Sprintf("openflow: switch %v has no port %v", s.ID, p))
 	}
+	s.MarkDirty()
 	s.in[p] = append(s.in[p], pkt)
 }
 
@@ -209,6 +235,7 @@ func (s *Switch) DropHead(p PortID) (Packet, bool) {
 	if len(q) == 0 {
 		return Packet{}, false
 	}
+	s.MarkDirty()
 	pkt := q[0]
 	if len(q) == 1 {
 		delete(s.in, p)
@@ -226,6 +253,7 @@ func (s *Switch) DupHead(p PortID, alloc *IDAlloc) (Packet, bool) {
 	if len(q) == 0 {
 		return Packet{}, false
 	}
+	s.MarkDirty()
 	dup := q[0]
 	dup.ID = alloc.Next()
 	dup.Orig = dup.ID
@@ -239,6 +267,7 @@ func (s *Switch) SwapHead(p PortID) bool {
 	if len(q) < 2 {
 		return false
 	}
+	s.MarkDirty()
 	nq := append([]Packet(nil), q...)
 	nq[0], nq[1] = nq[1], nq[0]
 	s.in[p] = nq
@@ -250,6 +279,7 @@ func (s *Switch) SwapHead(p PortID) bool {
 // against the flow table — a single transition, because the checker
 // already explores arrival orderings (§2.2.2 "Two simple transitions").
 func (s *Switch) ProcessPackets(alloc *IDAlloc) ProcResult {
+	s.MarkDirty()
 	var res ProcResult
 	for _, p := range s.PendingPorts() {
 		pkt := s.in[p][0]
@@ -271,6 +301,7 @@ func (s *Switch) ProcessPacketOnPort(p PortID, alloc *IDAlloc) (ProcResult, bool
 	if len(s.in[p]) == 0 {
 		return ProcResult{}, false
 	}
+	s.MarkDirty()
 	pkt := s.in[p][0]
 	rest := s.in[p][1:]
 	if len(rest) == 0 {
@@ -373,6 +404,7 @@ func (s *Switch) applyActions(pkt Packet, inPort PortID, actions []Action, alloc
 // ApplyOF implements the process_of transition for one controller→switch
 // message.
 func (s *Switch) ApplyOF(m Msg, alloc *IDAlloc) ProcResult {
+	s.MarkDirty()
 	var res ProcResult
 	switch m.Type {
 	case MsgFlowMod:
@@ -423,6 +455,7 @@ func (s *Switch) ApplyOF(m Msg, alloc *IDAlloc) ProcResult {
 // TakeAllBuffered empties the awaiting-controller buffer, returning the
 // entries (used when a switch fails and loses its soft state).
 func (s *Switch) TakeAllBuffered() []BufEntry {
+	s.MarkDirty()
 	out := s.buffer
 	s.buffer = nil
 	return out
@@ -463,44 +496,83 @@ func (s *Switch) portStats(port PortID) []PortStats {
 
 // ExpireTimers advances the flow-table timeout clock by one tick
 // (optional environment transition; see DESIGN.md §2(6)).
-func (s *Switch) ExpireTimers() []Rule { return s.Table.Tick() }
+func (s *Switch) ExpireTimers() []Rule {
+	s.MarkDirty()
+	return s.Table.Tick()
+}
 
 // StateKey renders the switch state canonically for hashing. canonical
 // selects the reduced flow-table representation; includeCounters folds
-// rule counters into the key (off by default — see core.Config).
+// rule counters into the key (off by default — see core.Config). The
+// rendering is cached and reused until the next mutation; RenderStateKey
+// bypasses the cache.
 func (s *Switch) StateKey(canonical, includeCounters bool) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "sw%d alive=%t up[", int(s.ID), s.Alive)
+	if s.key.valid && s.key.canonical == canonical && s.key.counters == includeCounters {
+		return s.key.str
+	}
+	str := s.RenderStateKey(canonical, includeCounters)
+	s.key = switchKeyCache{
+		str: str, hash: canon.Hash64String(str),
+		valid: true, canonical: canonical, counters: includeCounters,
+	}
+	return str
+}
+
+// KeyHash64 returns the cached 64-bit hash of StateKey — the component
+// hash System.Fingerprint combines.
+func (s *Switch) KeyHash64(canonical, includeCounters bool) uint64 {
+	s.StateKey(canonical, includeCounters)
+	return s.key.hash
+}
+
+// RenderStateKey rebuilds the canonical state key from scratch, ignoring
+// the cache — the reflective-oracle path differential tests compare the
+// incremental fingerprint against.
+func (s *Switch) RenderStateKey(canonical, includeCounters bool) string {
+	b := make([]byte, 0, 256)
+	b = append(b, "sw"...)
+	b = appendInt(b, int(s.ID))
+	b = append(b, " alive="...)
+	b = strconv.AppendBool(b, s.Alive)
+	b = append(b, " up["...)
 	for _, p := range s.Ports {
 		if s.up[p] {
-			fmt.Fprintf(&b, "%d ", int(p))
+			b = appendInt(b, int(p))
+			b = append(b, ' ')
 		}
 	}
-	b.WriteString("] table[")
+	b = append(b, "] table["...)
 	if canonical {
-		b.WriteString(s.Table.CanonicalKey(includeCounters))
+		b = append(b, s.Table.CanonicalKey(includeCounters)...)
 	} else {
-		b.WriteString(s.Table.InsertionOrderKey(includeCounters))
+		b = append(b, s.Table.InsertionOrderKey(includeCounters)...)
 	}
-	b.WriteString("] in[")
+	b = append(b, "] in["...)
 	for _, p := range s.Ports {
 		q := s.in[p]
 		if len(q) == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "%v:", p)
+		b = append(b, 'p')
+		b = appendInt(b, int(p))
+		b = append(b, ':')
 		for _, pkt := range q {
-			fmt.Fprintf(&b, "(%s)", pkt.Header.Key())
+			b = append(b, '(')
+			b = pkt.Header.appendKey(b)
+			b = append(b, ')')
 		}
 	}
-	b.WriteString("] buf[")
+	b = append(b, "] buf["...)
 	for _, e := range s.buffer {
 		// Buffer IDs are opaque correlation tokens; hashing the held
 		// packets (not the IDs) lets semantically equivalent states
 		// merge. In-flight packet_in messages referencing a buffer
 		// already distinguish states where the distinction matters.
-		fmt.Fprintf(&b, "(%s)@%v", e.Pkt.Header.Key(), e.InPort)
+		b = append(b, '(')
+		b = e.Pkt.Header.appendKey(b)
+		b = append(b, ")@p"...)
+		b = appendInt(b, int(e.InPort))
 	}
-	b.WriteString("]")
-	return b.String()
+	b = append(b, ']')
+	return string(b)
 }

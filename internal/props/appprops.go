@@ -2,8 +2,9 @@ package props
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 
-	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/openflow"
 )
@@ -25,6 +26,7 @@ type FlowAffinity struct {
 	Replicas []openflow.HostID
 
 	assigned map[connKey]openflow.HostID
+	cache    cachedKey
 }
 
 // NewFlowAffinity returns the property for the given virtual IP and
@@ -43,6 +45,7 @@ func (p *FlowAffinity) Clone() core.Property {
 	for k, v := range p.assigned {
 		c.assigned[k] = v
 	}
+	c.cache = p.cache
 	return c
 }
 
@@ -74,6 +77,7 @@ func (p *FlowAffinity) OnEvents(_ *core.System, events []core.Event) error {
 			return fmt.Errorf("connection %v:%d split across replicas %v and %v (packet %s)",
 				k.ClientIP, k.ClientPort, prev, e.Host, h)
 		}
+		p.cache.invalidate()
 		p.assigned[k] = e.Host
 	}
 	return nil
@@ -82,8 +86,39 @@ func (p *FlowAffinity) OnEvents(_ *core.System, events []core.Event) error {
 // AtQuiescence implements core.Property.
 func (p *FlowAffinity) AtQuiescence(*core.System) error { return nil }
 
-// StateKey implements core.Property.
-func (p *FlowAffinity) StateKey() string { return canon.String(p.assigned) }
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *FlowAffinity) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *FlowAffinity) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *FlowAffinity) renderStateKey() string {
+	keys := make([]connKey, 0, len(p.assigned))
+	for k := range p.assigned {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ClientIP != keys[j].ClientIP {
+			return keys[i].ClientIP < keys[j].ClientIP
+		}
+		return keys[i].ClientPort < keys[j].ClientPort
+	})
+	b := make([]byte, 0, 16+24*len(keys))
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendUint(b, uint64(uint32(k.ClientIP)), 16)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, uint64(k.ClientPort), 10)
+		b = append(b, '>')
+		b = strconv.AppendInt(b, int64(p.assigned[k]), 10)
+	}
+	b = append(b, '}')
+	return string(b)
+}
 
 // TESpec is the routing specification the UseCorrectRoutingTable
 // property enforces for the energy-efficient traffic-engineering
@@ -129,6 +164,7 @@ type UseCorrectRoutingTable struct {
 	high     bool
 	flowIdx  int
 	expected map[openflow.Flow]openflow.PortID
+	cache    cachedKey
 }
 
 // NewUseCorrectRoutingTable returns the property for a TE spec.
@@ -148,6 +184,7 @@ func (p *UseCorrectRoutingTable) Clone() core.Property {
 	for k, v := range p.expected {
 		c.expected[k] = v
 	}
+	c.cache = p.cache
 	return c
 }
 
@@ -158,6 +195,7 @@ func (p *UseCorrectRoutingTable) OnEvents(_ *core.System, events []core.Event) e
 		case core.EvStats:
 			for _, ps := range e.Stats {
 				if ps.Port == p.Spec.MonitorPort {
+					p.cache.invalidate()
 					p.high = ps.TxBytes >= p.Spec.Threshold
 				}
 			}
@@ -173,6 +211,7 @@ func (p *UseCorrectRoutingTable) OnEvents(_ *core.System, events []core.Event) e
 			if _, known := p.expected[f]; known {
 				continue
 			}
+			p.cache.invalidate()
 			p.expected[f] = p.Spec.ExpectedPort(p.high, p.flowIdx)
 			p.flowIdx++
 		case core.EvRuleInstalled:
@@ -243,7 +282,33 @@ func ruleFlow(r openflow.Rule) (openflow.Flow, bool) {
 // AtQuiescence implements core.Property.
 func (p *UseCorrectRoutingTable) AtQuiescence(*core.System) error { return nil }
 
-// StateKey implements core.Property.
-func (p *UseCorrectRoutingTable) StateKey() string {
-	return fmt.Sprintf("high=%t idx=%d %s", p.high, p.flowIdx, canon.String(p.expected))
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *UseCorrectRoutingTable) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *UseCorrectRoutingTable) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *UseCorrectRoutingTable) renderStateKey() string {
+	flows := make([]openflow.Flow, 0, len(p.expected))
+	for f := range p.expected {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flowBefore(flows[i], flows[j]) })
+	b := make([]byte, 0, 32+32*len(flows))
+	b = append(b, "high="...)
+	b = strconv.AppendBool(b, p.high)
+	b = append(b, " idx="...)
+	b = strconv.AppendInt(b, int64(p.flowIdx), 10)
+	b = append(b, " {"...)
+	for i, f := range flows {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = appendFlow(b, f)
+		b = append(b, '>')
+		b = strconv.AppendInt(b, int64(p.expected[f]), 10)
+	}
+	b = append(b, '}')
+	return string(b)
 }

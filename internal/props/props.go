@@ -10,9 +10,9 @@ package props
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
-	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/openflow"
 )
@@ -31,6 +31,7 @@ type visitKey struct {
 // one port only happen when the topology cycles traffic back.
 type NoForwardingLoops struct {
 	visited map[visitKey]bool
+	cache   cachedKey
 }
 
 // NewNoForwardingLoops returns the property.
@@ -47,6 +48,7 @@ func (p *NoForwardingLoops) Clone() core.Property {
 	for k := range p.visited {
 		c.visited[k] = true
 	}
+	c.cache = p.cache
 	return c
 }
 
@@ -61,6 +63,7 @@ func (p *NoForwardingLoops) OnEvents(_ *core.System, events []core.Event) error 
 			return fmt.Errorf("packet (%s) traversed %v:%v twice — forwarding loop",
 				e.Pkt.Header, e.Sw, e.Port)
 		}
+		p.cache.invalidate()
 		p.visited[k] = true
 	}
 	return nil
@@ -69,8 +72,43 @@ func (p *NoForwardingLoops) OnEvents(_ *core.System, events []core.Event) error 
 // AtQuiescence implements core.Property.
 func (p *NoForwardingLoops) AtQuiescence(*core.System) error { return nil }
 
-// StateKey implements core.Property.
-func (p *NoForwardingLoops) StateKey() string { return canon.String(p.visited) }
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *NoForwardingLoops) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *NoForwardingLoops) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *NoForwardingLoops) renderStateKey() string {
+	keys := make([]visitKey, 0, len(p.visited))
+	for k := range p.visited {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Orig != b.Orig {
+			return a.Orig < b.Orig
+		}
+		if a.Sw != b.Sw {
+			return a.Sw < b.Sw
+		}
+		return a.Port < b.Port
+	})
+	b := make([]byte, 0, 16+12*len(keys))
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, int64(k.Orig), 10)
+		b = append(b, '@')
+		b = strconv.AppendInt(b, int64(k.Sw), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(k.Port), 10)
+	}
+	b = append(b, '}')
+	return string(b)
+}
 
 // NoBlackHoles asserts no packet is dropped in the network: every packet
 // that enters ultimately leaves or is consumed by the controller, with a
@@ -83,6 +121,7 @@ type NoBlackHoles struct {
 	alive map[openflow.PacketID]string
 	// buffered marks instances currently parked at a switch.
 	buffered map[openflow.PacketID]bool
+	cache    cachedKey
 }
 
 // NewNoBlackHoles returns the property.
@@ -105,6 +144,7 @@ func (p *NoBlackHoles) Clone() core.Property {
 	for k, v := range p.buffered {
 		c.buffered[k] = v
 	}
+	c.cache = p.cache
 	return c
 }
 
@@ -113,15 +153,19 @@ func (p *NoBlackHoles) OnEvents(_ *core.System, events []core.Event) error {
 	for _, e := range events {
 		switch e.Kind {
 		case core.EvHostSend, core.EvCopied, core.EvCtrlInject, core.EvFaultDuplicated:
+			p.cache.invalidate()
 			p.alive[e.Pkt.ID] = e.Pkt.Header.String()
 		case core.EvDelivered, core.EvDropped, core.EvFaultDropped:
 			// Fault-model losses are the environment's doing, not the
 			// controller's; they leave the balance.
+			p.cache.invalidate()
 			delete(p.alive, e.Pkt.ID)
 			delete(p.buffered, e.Pkt.ID)
 		case core.EvBuffered:
+			p.cache.invalidate()
 			p.buffered[e.Pkt.ID] = true
 		case core.EvReleased:
+			p.cache.invalidate()
 			delete(p.buffered, e.Pkt.ID)
 		case core.EvVanished:
 			return fmt.Errorf("packet (%s) emitted on %v:%v with nothing attached — black hole",
@@ -147,9 +191,32 @@ func (p *NoBlackHoles) AtQuiescence(*core.System) error {
 	return nil
 }
 
-// StateKey implements core.Property.
-func (p *NoBlackHoles) StateKey() string {
-	return canon.String(p.alive) + canon.String(p.buffered)
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *NoBlackHoles) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *NoBlackHoles) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *NoBlackHoles) renderStateKey() string {
+	ids := make([]int64, 0, len(p.alive))
+	for id := range p.alive {
+		ids = append(ids, int64(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b := make([]byte, 0, 32+24*len(ids))
+	b = append(b, "alive{"...)
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, id, 10)
+		b = append(b, ':')
+		b = append(b, p.alive[openflow.PacketID(id)]...)
+	}
+	b = append(b, "}buf"...)
+	b = appendPacketIDSet(b, p.buffered)
+	return string(b)
 }
 
 // NoForgottenPackets asserts all switch buffers are empty at the end of
@@ -199,6 +266,7 @@ type DirectPaths struct {
 	// established; only those may not reach the controller (delay
 	// robustness: packets already in flight are exempt).
 	lateSend map[openflow.PacketID]bool
+	cache    cachedKey
 }
 
 // NewDirectPaths returns the property.
@@ -221,6 +289,7 @@ func (p *DirectPaths) Clone() core.Property {
 	for k, v := range p.lateSend {
 		c.lateSend[k] = v
 	}
+	c.cache = p.cache
 	return c
 }
 
@@ -232,9 +301,11 @@ func (p *DirectPaths) OnEvents(_ *core.System, events []core.Event) error {
 			if degenerateFlow(e.Pkt.Header) {
 				continue
 			}
+			p.cache.invalidate()
 			p.delivered[e.Pkt.Header.Flow()] = true
 		case core.EvHostSend:
 			if !degenerateFlow(e.Pkt.Header) && p.delivered[e.Pkt.Header.Flow()] {
+				p.cache.invalidate()
 				p.lateSend[e.Pkt.Orig] = true
 			}
 		case core.EvPacketIn:
@@ -258,9 +329,16 @@ func degenerateFlow(h openflow.Header) bool {
 // AtQuiescence implements core.Property.
 func (p *DirectPaths) AtQuiescence(*core.System) error { return nil }
 
-// StateKey implements core.Property.
-func (p *DirectPaths) StateKey() string {
-	return canon.String(p.delivered) + canon.String(p.lateSend)
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *DirectPaths) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *DirectPaths) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *DirectPaths) renderStateKey() string {
+	b := appendFlowSet(make([]byte, 0, 64), p.delivered)
+	return string(appendPacketIDSet(b, p.lateSend))
 }
 
 // StrictDirectPaths checks that after two hosts have delivered at least
@@ -271,6 +349,7 @@ func (p *DirectPaths) StateKey() string {
 type StrictDirectPaths struct {
 	delivered map[openflow.Flow]bool // unidirectional deliveries seen
 	lateSend  map[openflow.PacketID]bool
+	cache     cachedKey
 }
 
 // NewStrictDirectPaths returns the property.
@@ -293,6 +372,7 @@ func (p *StrictDirectPaths) Clone() core.Property {
 	for k, v := range p.lateSend {
 		c.lateSend[k] = v
 	}
+	c.cache = p.cache
 	return c
 }
 
@@ -323,9 +403,11 @@ func (p *StrictDirectPaths) OnEvents(_ *core.System, events []core.Event) error 
 			if degenerateFlow(e.Pkt.Header) {
 				continue
 			}
+			p.cache.invalidate()
 			p.delivered[e.Pkt.Header.Flow()] = true
 		case core.EvHostSend:
 			if !degenerateFlow(e.Pkt.Header) && p.established(e.Pkt.Header.Flow()) {
+				p.cache.invalidate()
 				p.lateSend[e.Pkt.Orig] = true
 			}
 		case core.EvPacketIn:
@@ -341,7 +423,14 @@ func (p *StrictDirectPaths) OnEvents(_ *core.System, events []core.Event) error 
 // AtQuiescence implements core.Property.
 func (p *StrictDirectPaths) AtQuiescence(*core.System) error { return nil }
 
-// StateKey implements core.Property.
-func (p *StrictDirectPaths) StateKey() string {
-	return canon.String(p.delivered) + canon.String(p.lateSend)
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *StrictDirectPaths) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *StrictDirectPaths) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *StrictDirectPaths) renderStateKey() string {
+	b := appendFlowSet(make([]byte, 0, 64), p.delivered)
+	return string(appendPacketIDSet(b, p.lateSend))
 }

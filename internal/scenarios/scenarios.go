@@ -410,6 +410,18 @@ func PyswitchBench(sends int) *core.Config {
 	return cfg
 }
 
+// LoadBalancerBench is the load-balancer BUG-IV Table 2 scenario scaled
+// to `sends` client packets with the early stop removed — the second
+// gated workload of the internal/bench harness (symbolic execution on,
+// environment reconfiguration in play, wildcard rules). At sends=4 the
+// full search runs ~13k unique states.
+func LoadBalancerBench(sends int) *core.Config {
+	cfg := BugConfig(BugIV)
+	cfg.StopAtFirstViolation = false
+	cfg.Hosts[0].SendBudget = sends
+	return cfg
+}
+
 // FixedConfig builds the same scenario as BugConfig but with the fully
 // repaired application, for asserting the fixes hold.
 func FixedConfig(b Bug) *core.Config {

@@ -8,7 +8,7 @@
 // reductions honored unchanged (they live inside System.Enabled) — and
 // spreads the expansion over cores:
 //
-//   - a lock-striped seen-set keyed by System.Hash() (seenset.go),
+//   - a lock-striped seen-set keyed by System.Fingerprint() (seenset.go),
 //   - per-worker frontiers with work-stealing, where each work item is
 //     a forked System plus the replayable trace prefix that reached it
 //     (frontier.go),
@@ -167,7 +167,7 @@ func (e *Engine) runHybrid() *core.Report {
 	st.frontier = newFrontier(workers, &st.stop)
 
 	root := core.NewSystemWith(e.cfg, e.caches)
-	st.seen.Add(root.Hash())
+	st.seen.Add(root.Fingerprint())
 	st.unique.Add(1)
 	st.frontier.push(0, item{sys: root})
 
@@ -254,7 +254,7 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 		if violated {
 			continue
 		}
-		if st.seen.Add(child.Hash()) {
+		if st.seen.Add(child.Fingerprint()) {
 			st.unique.Add(1)
 			st.frontier.push(w, item{sys: child, trace: next})
 		} else {

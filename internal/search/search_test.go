@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/scenarios"
 )
@@ -231,11 +232,12 @@ func TestSwarmFindsViolation(t *testing.T) {
 // TestSeenSet exercises the striped set directly.
 func TestSeenSet(t *testing.T) {
 	s := newSeenSet(8)
-	if !s.Add("a") || s.Add("a") {
+	a := canon.Digest{0, 0} // also produced by the i=0 loop iteration below
+	if !s.Add(a) || s.Add(a) {
 		t.Error("Add must report first insertion exactly once")
 	}
 	for i := 0; i < 1000; i++ {
-		s.Add(string(rune('a' + i%26)))
+		s.Add(canon.Digest{uint64(i % 26), uint64(i % 26)})
 	}
 	if got := s.Len(); got != 26 {
 		t.Errorf("Len = %d, want 26", got)

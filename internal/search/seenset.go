@@ -1,11 +1,17 @@
 package search
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/nice-go/nice/internal/canon"
+)
 
 // seenSet is the explored-state set shared by all workers: a
-// lock-striped hash set keyed by System.Hash(). Striping keeps the
-// hot-path insert (one per reached state) from serializing the workers
-// on a single mutex.
+// lock-striped hash set keyed by System.Fingerprint(). Striping keeps
+// the hot-path insert (one per reached state) from serializing the
+// workers on a single mutex. Fingerprints arrive as fixed-width
+// [2]uint64 digests, so shard selection reuses the digest's own low bits
+// — no re-hashing of a hex string, no per-insert allocation.
 type seenSet struct {
 	shards []seenShard
 	mask   uint32
@@ -13,7 +19,7 @@ type seenSet struct {
 
 type seenShard struct {
 	mu sync.Mutex
-	m  map[string]struct{}
+	m  map[canon.Digest]struct{}
 	// pad the struct to a 64-byte cache line (8-byte mutex + 8-byte
 	// map header + 48) so adjacent shards don't false-share.
 	_ [48]byte
@@ -28,19 +34,19 @@ func newSeenSet(shards int) *seenSet {
 	}
 	s := &seenSet{shards: make([]seenShard, n), mask: uint32(n - 1)}
 	for i := range s.shards {
-		s.shards[i].m = make(map[string]struct{})
+		s.shards[i].m = make(map[canon.Digest]struct{})
 	}
 	return s
 }
 
-// Add inserts a state hash, reporting whether it was absent (i.e. this
-// caller owns the first visit and must expand the state).
-func (s *seenSet) Add(h string) bool {
-	sh := &s.shards[fnv32(h)&s.mask]
+// Add inserts a state fingerprint, reporting whether it was absent (i.e.
+// this caller owns the first visit and must expand the state).
+func (s *seenSet) Add(d canon.Digest) bool {
+	sh := &s.shards[uint32(d[1])&s.mask]
 	sh.mu.Lock()
-	_, dup := sh.m[h]
+	_, dup := sh.m[d]
 	if !dup {
-		sh.m[h] = struct{}{}
+		sh.m[d] = struct{}{}
 	}
 	sh.mu.Unlock()
 	return !dup
@@ -56,14 +62,4 @@ func (s *seenSet) Len() int64 {
 		sh.mu.Unlock()
 	}
 	return n
-}
-
-// fnv32 is FNV-1a, picking the shard for a state hash.
-func fnv32(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return h
 }

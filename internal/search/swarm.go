@@ -68,7 +68,7 @@ func (e *Engine) walk(seed int64, steps int, seen *seenSet, viols *collector,
 		if stop.Load() {
 			return
 		}
-		seen.Add(sys.Hash())
+		seen.Add(sys.Fingerprint())
 		enabled := sys.Enabled()
 		if len(enabled) == 0 {
 			for _, p := range sys.Properties() {
