@@ -14,26 +14,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 	"time"
 
+	"github.com/nice-go/nice"
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/scenarios"
-	"github.com/nice-go/nice/internal/search"
 )
 
 // workers selects the engine for every search the harness runs:
-// 1 = the sequential reference checker, otherwise internal/search's
+// 1 = the sequential reference checker, otherwise the parallel
 // work-stealing pool (0 = all CPUs).
 var workers = flag.Int("workers", 1, "parallel search workers (0 = all CPUs, 1 = sequential checker)")
 
-// runSearch executes one search on the selected engine (the engine
-// itself delegates workers==1 to the sequential checker).
+// runSearch executes one search through the unified nice.Run entry
+// point (workers==1 delegates to the sequential checker inside the
+// parallel engine).
 func runSearch(cfg *core.Config) *core.Report {
-	return search.Run(cfg, *workers)
+	return nice.Run(context.Background(), cfg, nice.WithWorkers(*workers))
 }
 
 func main() {
@@ -137,18 +139,17 @@ func runTable2() {
 	fmt.Println("Table 2: transitions / time to the first violation per bug and strategy")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "BUG\tPKT-SEQ only\tNO-DELAY\tFLOW-IR\tUNUSUAL\tProperty")
-	for _, b := range scenarios.AllBugs {
-		fmt.Fprintf(w, "%s", b)
+	for _, sc := range scenarios.Table2() {
+		fmt.Fprintf(w, "%s", sc.Bug)
 		for _, s := range scenarios.Strategies {
-			cfg := scenarios.WithStrategy(scenarios.BugConfig(b), b, s)
-			report := runSearch(cfg)
+			report := runSearch(sc.Apply(sc.Config(0), s))
 			if v := report.FirstViolation(); v != nil {
 				fmt.Fprintf(w, "\t%d / %v", report.Transitions, round(report.Elapsed))
 			} else {
 				fmt.Fprintf(w, "\tMissed")
 			}
 		}
-		fmt.Fprintf(w, "\t%s\n", b.ExpectedProperty())
+		fmt.Fprintf(w, "\t%s\n", sc.ExpectedProperty)
 	}
 	w.Flush()
 	fmt.Println()

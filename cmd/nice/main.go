@@ -1,5 +1,6 @@
-// Command nice runs the NICE checker on the built-in scenarios: the
-// paper's layer-2 ping workload and the eleven bug scenarios of §8.
+// Command nice runs the NICE checker on the registered scenarios: the
+// paper's layer-2 ping workload, the eleven bug scenarios of §8, and
+// the scaled bench workloads (see internal/scenarios' registry).
 //
 // Usage:
 //
@@ -8,96 +9,140 @@
 //	nice -scenario pingpong -pings 3      # exhaustive search, no properties
 //	nice -scenario pingpong -pings 3 -workers 8   # parallel search
 //	nice -scenario bug-ix -mode walk -walks 100 -steps 50 -seed 7
+//	nice -scenario pingpong -pings 4 -timeout 2s -progress 500ms
+//	nice -scenario pingpong -pings 4 -max-states 5000
 //	nice -list                            # enumerate scenarios
 //
-// -workers N spreads the search over N cores via internal/search's
-// work-stealing engine (0 = all CPUs); the default 1 runs the
-// sequential reference checker. Walk mode always runs the seeded
-// swarm: walk i uses seed+i, so with symbolic execution off the walk
-// set doesn't depend on the worker count (SE-enabled walks share
-// discover-cache fills, so trajectories can shift with scheduling).
+// Every search runs through nice.Run: -workers selects the parallel
+// work-stealing engine (0 = all CPUs; the default 1 runs the
+// sequential reference checker), -mode walk selects the seeded swarm,
+// and -timeout/-max-states/-max-transitions bound the search. With
+// -progress, streaming snapshots (states/sec, frontier, depth) print
+// to stderr as the search runs, and violations print as they are
+// found.
+//
+// Ctrl-C cancels the search's context: the engines drain and the
+// partial (replayable) result prints instead of the process dying
+// mid-search.
+//
+// Exit codes: 0 = clean complete search; 1 = property violation found;
+// 2 = usage error; 3 = budget, deadline or cancellation cut the search
+// short with no violation (the printed counts are a partial but
+// replayable result).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice"
 	"github.com/nice-go/nice/internal/scenarios"
-	"github.com/nice-go/nice/internal/search"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "", "scenario to check: pingpong or bug-i .. bug-xi")
-		strategy = flag.String("strategy", "pkt-seq", "search strategy: pkt-seq, no-delay, flow-ir, unusual")
-		pings    = flag.Int("pings", 2, "concurrent pings for the pingpong scenario")
-		mode     = flag.String("mode", "check", "check (full search) or walk (random walks)")
-		seed     = flag.Int64("seed", 1, "random-walk seed")
-		walks    = flag.Int("walks", 50, "number of random walks")
-		steps    = flag.Int("steps", 100, "max transitions per walk")
-		maxDepth = flag.Int("max-depth", 0, "override the execution depth bound")
-		maxTrans = flag.Int64("max-transitions", 0, "abort the search after this many transitions")
-		fixed    = flag.Bool("fixed", false, "check the repaired application instead")
-		all      = flag.Bool("all-violations", false, "keep searching past the first violation")
-		workers  = flag.Int("workers", 1, "parallel search workers (0 = all CPUs, 1 = sequential checker)")
-		list     = flag.Bool("list", false, "list scenarios and exit")
+		scenario  = flag.String("scenario", "", "scenario to check (see -list)")
+		strategy  = flag.String("strategy", "pkt-seq", "search strategy: pkt-seq, no-delay, flow-ir, unusual")
+		pings     = flag.Int("pings", 0, "scale for the ping scenarios (0 = scenario default)")
+		sends     = flag.Int("sends", 0, "scale for the bench scenarios (0 = scenario default)")
+		mode      = flag.String("mode", "check", "check (full search) or walk (random walks)")
+		seed      = flag.Int64("seed", 1, "random-walk seed")
+		walks     = flag.Int("walks", 50, "number of random walks")
+		steps     = flag.Int("steps", 100, "max transitions per walk")
+		maxDepth  = flag.Int("max-depth", 0, "override the execution depth bound")
+		maxTrans  = flag.Int64("max-transitions", 0, "abort the search after this many transitions")
+		maxStates = flag.Int64("max-states", 0, "abort the search after this many unique states")
+		timeout   = flag.Duration("timeout", 0, "abort the search after this wall-clock budget")
+		progress  = flag.Duration("progress", 0, "stream progress snapshots to stderr at this interval")
+		fixed     = flag.Bool("fixed", false, "check the repaired application instead")
+		all       = flag.Bool("all-violations", false, "keep searching past the first violation")
+		workers   = flag.Int("workers", 1, "parallel search workers (0 = all CPUs, 1 = sequential checker)")
+		list      = flag.Bool("list", false, "list scenarios and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("scenarios:")
-		fmt.Println("  pingpong     §7 layer-2 ping workload (use -pings)")
-		for _, b := range scenarios.AllBugs {
-			fmt.Printf("  %-12s %s violating %s\n", strings.ToLower(b.String()), appOf(b), b.ExpectedProperty())
+		for _, sc := range scenarios.All() {
+			name := sc.Name
+			if sc.ScaleName != "" {
+				name += fmt.Sprintf(" (-%s N)", sc.ScaleName)
+			}
+			fmt.Printf("  %-24s %s\n", name, sc.Summary)
 		}
 		return
 	}
 
-	cfg, name, err := buildConfig(*scenario, *pings, *fixed)
+	cfg, name, err := buildConfig(*scenario, *pings, *sends, *fixed, *strategy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nice:", err)
-		os.Exit(2)
-	}
-	if err := applyStrategy(cfg, *scenario, *strategy); err != nil {
 		fmt.Fprintln(os.Stderr, "nice:", err)
 		os.Exit(2)
 	}
 	if *maxDepth > 0 {
 		cfg.MaxDepth = *maxDepth
 	}
-	if *maxTrans > 0 {
-		cfg.MaxTransitions = *maxTrans
-	}
 	if *all {
 		cfg.StopAtFirstViolation = false
 	}
 
-	var report *core.Report
+	opts := []nice.RunOption{
+		nice.WithWorkers(*workers),
+	}
 	switch *mode {
 	case "check":
-		// workers==1 delegates to the sequential reference checker
-		// inside the engine.
-		report = search.Run(cfg, *workers)
 	case "walk":
-		report = search.New(cfg, search.Options{
-			Strategy: search.Swarm, Workers: *workers,
-			Seed: *seed, Walks: *walks, Steps: *steps,
-		}).Run()
+		opts = append(opts, nice.WithWalks(*seed, *walks, *steps))
 	default:
 		fmt.Fprintf(os.Stderr, "nice: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+	if *maxTrans > 0 {
+		opts = append(opts, nice.WithMaxTransitions(*maxTrans))
+	}
+	if *maxStates > 0 {
+		opts = append(opts, nice.WithMaxStates(*maxStates))
+	}
+	if *timeout > 0 {
+		opts = append(opts, nice.WithDeadline(*timeout))
+	}
+	if *progress > 0 {
+		opts = append(opts,
+			nice.WithProgressEvery(*progress),
+			nice.WithObserver(nice.ObserverFuncs{
+				Violation: func(v nice.Violation) {
+					fmt.Fprintf(os.Stderr, "[found] %s: %v\n", v.Property, v.Err)
+				},
+				Progress: func(p nice.Progress) {
+					fmt.Fprintf(os.Stderr,
+						"[%s %7.1fs] %d transitions, %d states (%.0f/s), frontier %d, depth %d\n",
+						p.Strategy, p.Elapsed.Seconds(), p.Transitions,
+						p.UniqueStates, p.StatesPerSec, p.Frontier, p.Depth)
+				},
+			}))
+	}
+
+	// Ctrl-C cancels the context: the engines drain and return a
+	// partial but replayable report instead of dying mid-search.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	report := nice.Run(ctx, cfg, opts...)
 
 	fmt.Printf("%s (%s, %s): %d transitions, %d unique states, %d concolic runs, %v\n",
-		name, *strategy, *mode, report.Transitions, report.UniqueStates, report.SERuns, report.Elapsed)
+		name, *strategy, report.Strategy, report.Transitions, report.UniqueStates,
+		report.SERuns, report.Elapsed)
 	if !report.Complete {
-		fmt.Println("search aborted at the transition budget (incomplete)")
+		fmt.Printf("search aborted (%s) — partial result\n", report.StopReason)
 	}
 	if len(report.Violations) == 0 {
 		fmt.Println("no property violations found")
+		if !report.Complete {
+			os.Exit(3)
+		}
 		return
 	}
 	for i := range report.Violations {
@@ -106,65 +151,57 @@ func main() {
 	os.Exit(1)
 }
 
-func buildConfig(name string, pings int, fixed bool) (*core.Config, string, error) {
-	switch strings.ToLower(name) {
-	case "pingpong":
-		return scenarios.PingPong(pings), fmt.Sprintf("pingpong(%d)", pings), nil
-	case "":
+// buildConfig resolves the scenario in the registry, scales it, picks
+// the buggy or repaired application, and applies the strategy column.
+func buildConfig(name string, pings, sends int, fixed bool, strategy string) (*nice.Config, string, error) {
+	if name == "" {
 		return nil, "", fmt.Errorf("missing -scenario (try -list)")
 	}
-	for _, b := range scenarios.AllBugs {
-		if strings.EqualFold(name, b.String()) || strings.EqualFold(name, strings.ToLower(b.String())) {
-			if fixed {
-				return scenarios.FixedConfig(b), b.String() + " (fixed app)", nil
-			}
-			return scenarios.BugConfig(b), b.String(), nil
-		}
+	sc, ok := scenarios.Lookup(name)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown scenario %q (try -list)", name)
 	}
-	return nil, "", fmt.Errorf("unknown scenario %q (try -list)", name)
+	scale := 0
+	switch sc.ScaleName {
+	case "pings":
+		scale = pings
+	case "sends":
+		scale = sends
+	}
+	label := sc.Name
+	if scale > 0 {
+		label = fmt.Sprintf("%s(%d)", sc.Name, scale)
+	}
+
+	var cfg *nice.Config
+	if fixed {
+		cfg = sc.FixedConfig(scale)
+		if cfg == nil {
+			return nil, "", fmt.Errorf("scenario %q has no repaired variant", sc.Name)
+		}
+		label += " (fixed app)"
+	} else {
+		cfg = sc.Config(scale)
+	}
+
+	strat, err := parseStrategy(strategy)
+	if err != nil {
+		return nil, "", err
+	}
+	return sc.Apply(cfg, strat), label, nil
 }
 
-func applyStrategy(cfg *core.Config, scenario, strategy string) error {
-	var s scenarios.Strategy
+func parseStrategy(strategy string) (scenarios.Strategy, error) {
 	switch strings.ToLower(strategy) {
 	case "pkt-seq", "":
-		s = scenarios.PktSeqOnly
+		return scenarios.PktSeqOnly, nil
 	case "no-delay":
-		s = scenarios.NoDelay
+		return scenarios.NoDelay, nil
 	case "flow-ir":
-		s = scenarios.FlowIR
+		return scenarios.FlowIR, nil
 	case "unusual":
-		s = scenarios.Unusual
+		return scenarios.Unusual, nil
 	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
-	}
-	if strings.EqualFold(scenario, "pingpong") {
-		switch s {
-		case scenarios.NoDelay:
-			cfg.NoDelay = true
-		case scenarios.Unusual:
-			cfg.Unusual = true
-		case scenarios.FlowIR:
-			cfg.FlowGroupKey = scenarios.PingGroup
-		}
-		return nil
-	}
-	for _, b := range scenarios.AllBugs {
-		if strings.EqualFold(scenario, b.String()) {
-			scenarios.WithStrategy(cfg, b, s)
-			return nil
-		}
-	}
-	return nil
-}
-
-func appOf(b scenarios.Bug) string {
-	switch {
-	case b <= scenarios.BugIII:
-		return "pyswitch (MAC learning)"
-	case b <= scenarios.BugVII:
-		return "load balancer"
-	default:
-		return "energy-efficient TE"
+		return 0, fmt.Errorf("unknown strategy %q", strategy)
 	}
 }

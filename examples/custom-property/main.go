@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/nice-go/nice"
@@ -138,7 +139,7 @@ func main() {
 		},
 	}
 
-	report := nice.Check(cfg)
+	report := nice.Run(context.Background(), cfg)
 	fmt.Printf("searched %d transitions, %d states (%v)\n\n",
 		report.Transitions, report.UniqueStates, report.Elapsed)
 	if v := report.FirstViolation(); v != nil {

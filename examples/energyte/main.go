@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/nice-go/nice"
@@ -58,19 +59,19 @@ func main() {
 		}
 	}
 
-	full := nice.Check(build())
+	full := nice.Run(context.Background(), build())
 	fmt.Printf("PKT-SEQ search:   %6d transitions, %v — ", full.Transitions, full.Elapsed)
 	describe(full)
 
 	unusual := build()
 	unusual.Unusual = true
-	u := nice.Check(unusual)
+	u := nice.Run(context.Background(), unusual)
 	fmt.Printf("UNUSUAL strategy: %6d transitions, %v — ", u.Transitions, u.Elapsed)
 	describe(u)
 
 	lockstep := build()
 	lockstep.NoDelay = true
-	n := nice.Check(lockstep)
+	n := nice.Run(context.Background(), lockstep)
 	fmt.Printf("NO-DELAY:         %6d transitions, %v — ", n.Transitions, n.Elapsed)
 	describe(n)
 
@@ -83,7 +84,7 @@ func main() {
 
 	fixed := build()
 	fixed.App = energyte.New(energyte.FixIX, topology, 1000, 0)
-	if f := nice.Check(fixed); f.FirstViolation() == nil {
+	if f := nice.Run(context.Background(), fixed); f.FirstViolation() == nil {
 		fmt.Printf("\nFixIX (handle packets at intermediate switches): clean over %d transitions ✓\n",
 			f.Transitions)
 	}

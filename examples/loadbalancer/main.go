@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -61,7 +62,7 @@ func main() {
 		},
 	}
 
-	report := nice.Check(cfg)
+	report := nice.Run(context.Background(), cfg)
 	fmt.Printf("searched %d transitions (%v)\n\n", report.Transitions, report.Elapsed)
 	v := report.FirstViolation()
 	if v == nil {
@@ -75,7 +76,7 @@ func main() {
 
 	// The paper's fix reverses the two steps.
 	cfg.App = loadbalancer.New(loadbalancer.FixV, topology, vip, 1)
-	if fixed := nice.Check(cfg); fixed.FirstViolation() == nil {
+	if fixed := nice.Run(context.Background(), cfg); fixed.FirstViolation() == nil {
 		fmt.Printf("\ninstall-before-delete ordering: clean over %d transitions ✓\n", fixed.Transitions)
 	}
 }

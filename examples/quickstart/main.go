@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -39,7 +40,7 @@ func main() {
 		StopAtFirstViolation: true,
 	}
 
-	report := nice.Check(cfg)
+	report := nice.Run(context.Background(), cfg)
 	fmt.Printf("explored %d transitions, %d unique states, %d concolic runs in %v\n",
 		report.Transitions, report.UniqueStates, report.SERuns, report.Elapsed)
 
@@ -58,7 +59,7 @@ func main() {
 
 	// The repaired application is clean under the same search.
 	cfg.App = pyswitch.New(pyswitch.Fixed, topology)
-	if fixed := nice.Check(cfg); fixed.FirstViolation() == nil {
+	if fixed := nice.Run(context.Background(), cfg); fixed.FirstViolation() == nil {
 		fmt.Printf("fixed pyswitch: clean over %d transitions ✓\n", fixed.Transitions)
 	}
 }

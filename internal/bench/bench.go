@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -22,6 +23,16 @@ import (
 	"github.com/nice-go/nice/internal/scenarios"
 	"github.com/nice-go/nice/internal/search"
 )
+
+// The harness resolves its workloads in the scenario registry, like
+// every other front end; a new bench workload registers there once.
+func pyswitchBench(sends int) *core.Config {
+	return scenarios.MustLookup("pyswitch-bench").Config(sends)
+}
+
+func loadBalancerBench(sends int) *core.Config {
+	return scenarios.MustLookup("loadbalancer-bench").Config(sends)
+}
 
 // Schema is the BENCH_<n>.json format version.
 const Schema = 1
@@ -154,25 +165,35 @@ func Run(opts Options) *Suite {
 	// counterparts: a lone noisy oracle run would deflate its states/sec
 	// and flatter every recorded speedup ratio.
 	s.Results = append(s.Results, bestOf(iters, "pyswitch-scaled/seq", true, func() *core.Report {
-		return core.NewChecker(scenarios.PyswitchBench(3)).Run()
+		return core.NewChecker(pyswitchBench(3)).Run()
 	}))
 	s.Results = append(s.Results, bestOf(iters, "pyswitch-scaled/oracle", false, func() *core.Report {
-		cfg := scenarios.PyswitchBench(3)
+		cfg := pyswitchBench(3)
 		cfg.OracleHash = true
 		return core.NewChecker(cfg).Run()
 	}))
 	s.Results = append(s.Results, bestOf(1,
 		fmt.Sprintf("pyswitch-scaled/par%d", opts.workers()), false, func() *core.Report {
-			return search.New(scenarios.PyswitchBench(3), search.Options{Workers: opts.workers()}).Run()
+			return search.New(pyswitchBench(3), search.Options{Workers: opts.workers()}).Run()
 		}))
+	// Observer-overhead probe: the same gated search driven through the
+	// engine API with a streaming observer attached. Not gated itself;
+	// the recorded states/sec documents what violation streaming and
+	// progress snapshots cost relative to pyswitch-scaled/seq.
+	s.Results = append(s.Results, bestOf(iters, "pyswitch-scaled/observed", false, func() *core.Report {
+		return core.DFS().Search(context.Background(), pyswitchBench(3), core.EngineOptions{
+			Observer:      core.ObserverFuncs{},
+			ProgressEvery: 100 * time.Millisecond,
+		})
+	}))
 
 	// Scaled load balancer: wildcard rules, environment reconfiguration,
 	// SE-discovered TCP/ARP classes (~13k states at 4 sends).
 	s.Results = append(s.Results, bestOf(iters, "loadbalancer-scaled/seq", true, func() *core.Report {
-		return core.NewChecker(scenarios.LoadBalancerBench(4)).Run()
+		return core.NewChecker(loadBalancerBench(4)).Run()
 	}))
 	s.Results = append(s.Results, bestOf(iters, "loadbalancer-scaled/oracle", false, func() *core.Report {
-		cfg := scenarios.LoadBalancerBench(4)
+		cfg := loadBalancerBench(4)
 		cfg.OracleHash = true
 		return core.NewChecker(cfg).Run()
 	}))
@@ -215,7 +236,7 @@ const HashBatch = 64
 // parent states. With oracle=true, fingerprints route through the
 // full-reserialization oracle (Config.OracleHash).
 func NewHashCorpus(oracle bool) *HashCorpus {
-	cfg := scenarios.PyswitchBench(3)
+	cfg := pyswitchBench(3)
 	cfg.OracleHash = oracle
 	sim := core.NewSimulator(cfg)
 	hc := &HashCorpus{Children: make([]*core.System, HashBatch)}
@@ -298,9 +319,9 @@ func runTable2() Result {
 	agg.Name = "table2-suite"
 	agg.Complete = true
 	var wall time.Duration
-	for _, b := range scenarios.AllBugs {
+	for _, sc := range scenarios.Table2() {
 		for _, st := range scenarios.Strategies {
-			cfg := scenarios.WithStrategy(scenarios.BugConfig(b), b, st)
+			cfg := sc.Apply(sc.Config(0), st)
 			r, w, ab, an := measure(func() *core.Report { return core.NewChecker(cfg).Run() })
 			wall += w
 			agg.UniqueStates += r.UniqueStates

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -52,8 +53,18 @@ type Report struct {
 	Violations []Violation
 	// Elapsed is wall-clock search time.
 	Elapsed time.Duration
-	// Complete is false when MaxTransitions aborted the search.
+	// Complete is false when a budget (MaxTransitions, MaxStates, a
+	// deadline) or cancellation aborted the search. A report that
+	// stopped at the first violation still counts as complete.
 	Complete bool
+	// Strategy names the engine that produced the report ("dfs",
+	// "parallel", "walks", "swarm").
+	Strategy string
+	// StopReason records why the search ended early; empty when the
+	// bounded state space was exhausted. Partial (aborted) reports are
+	// still replayable: every recorded trace reproduces
+	// deterministically from the initial state.
+	StopReason StopReason
 }
 
 // FirstViolation returns the first recorded violation, or nil.
@@ -73,6 +84,14 @@ type Checker struct {
 	report   *Report
 	seenViol map[string]bool
 	stopped  bool
+
+	// Per-run context, budgets and streaming (set by RunContext).
+	ctx        context.Context
+	opts       EngineOptions
+	maxTrans   int64
+	stopReason StopReason
+	meter      *progressMeter
+	start      time.Time
 }
 
 // NewChecker prepares a search.
@@ -94,18 +113,79 @@ func (c *Checker) Caches() *Caches { return c.caches }
 // transitions, hash-match states, arm discover transitions, check
 // properties after every transition and at quiescent states.
 func (c *Checker) Run() *Report {
+	return c.RunContext(context.Background(), EngineOptions{})
+}
+
+// RunContext is Run with runtime controls: it honors context
+// cancellation (and deadlines) and the EngineOptions budgets, streams
+// violations and progress to the options' Observer, and on abort
+// returns a partial report whose traces still replay deterministically.
+// Option-level budgets merge with the Config's MaxTransitions (the
+// smaller nonzero bound wins).
+func (c *Checker) RunContext(ctx context.Context, opts EngineOptions) *Report {
 	c.explored = make(map[canon.Digest]bool)
-	c.report = &Report{Complete: true}
+	c.report = &Report{Complete: true, Strategy: "dfs"}
 	c.seenViol = make(map[string]bool)
 	c.stopped = false
-	start := time.Now()
+	c.stopReason = StopNone
+	c.ctx = ctx
+	c.opts = opts
+	c.maxTrans = opts.EffectiveMaxTransitions(c.cfg)
+	c.start = time.Now()
+	c.meter = newProgressMeter("dfs", opts, c.start)
 
 	root := newSystem(c.cfg, c.caches)
 	c.dfs(root, nil)
 
 	c.report.SERuns = c.caches.SERuns()
-	c.report.Elapsed = time.Since(start)
+	c.report.Elapsed = time.Since(c.start)
+	c.report.StopReason = c.stopReason
+	c.meter.final(c.progress(0))
 	return c.report
+}
+
+// abort stops the search for the given reason, marking the report
+// incomplete when the reason is a budget or cancellation.
+func (c *Checker) abort(r StopReason) {
+	c.stopped = true
+	if c.stopReason == StopNone {
+		c.stopReason = r
+	}
+	if r.Partial() {
+		c.report.Complete = false
+	}
+}
+
+// aborted checks every stop condition: a prior stop, the transition and
+// unique-state budgets, and (polled every 64 transitions to keep the
+// hot loop cheap) context cancellation.
+func (c *Checker) aborted() bool {
+	if c.stopped {
+		return true
+	}
+	if c.maxTrans > 0 && c.report.Transitions >= c.maxTrans {
+		c.abort(StopMaxTransitions)
+		return true
+	}
+	if c.opts.MaxStates > 0 && c.report.UniqueStates >= c.opts.MaxStates {
+		c.abort(StopMaxStates)
+		return true
+	}
+	if c.report.Transitions&63 == 0 {
+		select {
+		case <-c.ctx.Done():
+			c.abort(ContextStopReason(c.ctx))
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+func (c *Checker) progress(depth int) Progress {
+	return snapshotProgress("dfs", c.start, c.report.Transitions,
+		c.report.UniqueStates, c.report.Revisits, c.report.Truncated,
+		c.caches.SERuns(), int64(depth), depth)
 }
 
 func (c *Checker) dfs(sys *System, trace []Transition) {
@@ -139,17 +219,14 @@ func (c *Checker) dfs(sys *System, trace []Transition) {
 	}
 
 	for _, t := range enabled {
-		if c.stopped {
-			return
-		}
-		if c.cfg.MaxTransitions > 0 && c.report.Transitions >= c.cfg.MaxTransitions {
-			c.report.Complete = false
+		if c.aborted() {
 			return
 		}
 		child := sys.Clone()
 		events := child.Apply(t)
 		c.report.Transitions++
 		next := append(trace[:len(trace):len(trace)], t)
+		c.meter.maybe(func() Progress { return c.progress(len(next)) })
 
 		violated := false
 		for _, p := range child.Properties() {
@@ -172,9 +249,12 @@ func (c *Checker) recordViolation(v Violation) {
 	if !c.seenViol[key] {
 		c.seenViol[key] = true
 		c.report.Violations = append(c.report.Violations, v)
+		if c.opts.Observer != nil {
+			c.opts.Observer.OnViolation(v)
+		}
 	}
 	if c.cfg.StopAtFirstViolation {
-		c.stopped = true
+		c.abort(StopViolation)
 	}
 }
 

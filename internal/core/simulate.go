@@ -1,10 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
-
-	"github.com/nice-go/nice/internal/canon"
 )
 
 // Simulator drives manually-chosen, step-by-step system executions — the
@@ -60,61 +58,13 @@ func (s *Simulator) Reset() {
 // maxSteps transitions, restarting from the initial state, until the
 // step budget is spent or a violation is found. It returns a report in
 // the same shape as a full search (UniqueStates counts distinct hashes
-// seen across walks).
+// seen across walks). It is the uncancellable form of the Walks engine,
+// keeping this entry point's historical semantics: walks or maxSteps
+// <= 0 means no work, not the engine's defaults.
 func RandomWalk(cfg *Config, seed int64, walks, maxSteps int) *Report {
-	rng := rand.New(rand.NewSource(seed))
-	cc := NewCaches()
-	report := &Report{Complete: true}
-	seen := make(map[canon.Digest]bool)
-	seenViol := make(map[string]bool)
-
-	for w := 0; w < walks; w++ {
-		sys := newSystem(cfg, cc)
-		var trace []Transition
-		for step := 0; step < maxSteps; step++ {
-			h := sys.Fingerprint()
-			if !seen[h] {
-				seen[h] = true
-				report.UniqueStates++
-			}
-			enabled := sys.Enabled()
-			if len(enabled) == 0 {
-				for _, p := range sys.Properties() {
-					if err := p.AtQuiescence(sys); err != nil {
-						key := p.Name() + "|" + err.Error()
-						if !seenViol[key] {
-							seenViol[key] = true
-							report.Violations = append(report.Violations, Violation{
-								Property: p.Name(), Err: err,
-								Trace: cloneTrace(trace), Quiescence: true,
-							})
-						}
-					}
-				}
-				break
-			}
-			t := enabled[rng.Intn(len(enabled))]
-			events := sys.Apply(t)
-			report.Transitions++
-			trace = append(trace, t)
-			violated := false
-			for _, p := range sys.Properties() {
-				if err := p.OnEvents(sys, events); err != nil {
-					key := p.Name() + "|" + err.Error()
-					if !seenViol[key] {
-						seenViol[key] = true
-						report.Violations = append(report.Violations, Violation{
-							Property: p.Name(), Err: err, Trace: cloneTrace(trace),
-						})
-					}
-					violated = true
-				}
-			}
-			if violated {
-				break
-			}
-		}
+	if walks <= 0 || maxSteps <= 0 {
+		return &Report{Complete: true, Strategy: "walks"}
 	}
-	report.SERuns = cc.SERuns()
-	return report
+	return Walks().Search(context.Background(), cfg,
+		EngineOptions{Seed: seed, Walks: walks, Steps: maxSteps})
 }

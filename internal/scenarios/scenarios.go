@@ -1,7 +1,9 @@
 // Package scenarios wires up the checking configurations of the paper's
 // evaluation: the layer-2 ping workload of §7 (Table 1, Figure 6) and
-// the eleven bug scenarios of §8 (Table 2). Tests, benchmarks, the
-// experiment harness and the examples all build on these.
+// the eleven bug scenarios of §8 (Table 2), exposed through a named
+// scenario registry (registry.go) that cmd/nice, cmd/nice-experiments,
+// the internal/bench harness, the tests and the examples all consume —
+// a new topology or workload registers in exactly one place.
 package scenarios
 
 import (

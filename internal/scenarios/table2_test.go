@@ -7,47 +7,37 @@ import (
 	"github.com/nice-go/nice/internal/core"
 )
 
-// expectedMisses is the strategy miss-matrix we reproduce. The paper's
-// Table 2 reports NO-DELAY missing BUG-V, BUG-X and BUG-XI (race and
-// perceived-load bugs) and FLOW-IR missing BUG-VII. Our NO-DELAY
-// additionally misses BUG-IX: with every controller↔switch exchange
-// atomic, a packet can never outrun a rule install (see EXPERIMENTS.md
-// for the deviation discussion).
-var expectedMisses = map[Bug]map[Strategy]bool{
-	BugV:   {NoDelay: true},
-	BugVII: {FlowIR: true},
-	BugIX:  {NoDelay: true},
-	BugX:   {NoDelay: true},
-	BugXI:  {NoDelay: true},
-}
-
+// TestTable2StrategyMatrix reproduces the paper's Table 2 strategy
+// miss-matrix, driven entirely by the scenario registry: each bug
+// scenario carries its expected property and per-strategy misses (see
+// registry.go's table2Misses for the deviation discussion).
 func TestTable2StrategyMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("strategy matrix is slow")
 	}
-	for _, b := range AllBugs {
+	for _, sc := range Table2() {
 		for _, s := range Strategies {
-			b, s := b, s
-			t.Run(b.String()+"/"+s.String(), func(t *testing.T) {
+			sc, s := sc, s
+			t.Run(sc.Name+"/"+s.String(), func(t *testing.T) {
 				t.Parallel()
-				cfg := WithStrategy(BugConfig(b), b, s)
+				cfg := sc.Apply(sc.Config(0), s)
 				report := core.NewChecker(cfg).Run()
 				found := report.FirstViolation() != nil
-				wantMiss := expectedMisses[b][s]
+				wantMiss := sc.Misses[s]
 				if found && wantMiss {
 					t.Errorf("%s with %s: expected miss, but found %s after %d transitions",
-						b, s, report.FirstViolation().Property, report.Transitions)
+						sc.Name, s, report.FirstViolation().Property, report.Transitions)
 				}
 				if !found && !wantMiss {
 					t.Errorf("%s with %s: expected to find the bug, missed it after %d transitions",
-						b, s, report.Transitions)
+						sc.Name, s, report.Transitions)
 				}
 				if found {
 					v := report.FirstViolation()
-					if v.Property != b.ExpectedProperty() {
-						t.Errorf("%s with %s: wrong property %s (want %s)", b, s, v.Property, b.ExpectedProperty())
+					if v.Property != sc.ExpectedProperty {
+						t.Errorf("%s with %s: wrong property %s (want %s)", sc.Name, s, v.Property, sc.ExpectedProperty)
 					}
-					t.Logf("%s %s: %d transitions / %v", b, s, report.Transitions, report.Elapsed)
+					t.Logf("%s %s: %d transitions / %v", sc.Name, s, report.Transitions, report.Elapsed)
 				}
 			})
 		}

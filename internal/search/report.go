@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/core"
 )
 
@@ -16,6 +17,11 @@ import (
 // the lexicographically smallest rendering); the kept trace always
 // replays deterministically, but its exact length may vary run to run —
 // which path first reaches a violating state is scheduling-dependent.
+//
+// A second dedup pass at merge time drops violations that share a
+// property and a trace fingerprint with an already-kept one: workers
+// (or swarm walks) that race to the same violating execution report it
+// once, not once per worker.
 type collector struct {
 	mu sync.Mutex
 	m  map[string]core.Violation
@@ -26,10 +32,11 @@ func newCollector() *collector {
 }
 
 // add records a violation, keeping the best trace per property+error
-// key. (Stopping on StopAtFirstViolation is the caller's concern; like
-// the sequential checker, it stops on every recorded violation, new
-// key or not.)
-func (c *collector) add(v core.Violation) {
+// key, and reports whether the key was new — the signal to stream the
+// violation to an Observer exactly once. (Stopping on
+// StopAtFirstViolation is the caller's concern; like the sequential
+// checker, it stops on every recorded violation, new key or not.)
+func (c *collector) add(v core.Violation) bool {
 	key := v.Property + "|" + v.Err.Error()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -37,6 +44,7 @@ func (c *collector) add(v core.Violation) {
 	if !ok || better(v, prev) {
 		c.m[key] = v
 	}
+	return !ok
 }
 
 // better prefers the shorter trace; on equal length, the smaller
@@ -57,8 +65,16 @@ func traceKey(trace []core.Transition) string {
 	return sb.String()
 }
 
+// TraceFingerprint hashes a trace's canonical rendering to a 64-bit
+// identity — the dedup key (with the property name) for "the same
+// violating execution reported by more than one worker".
+func TraceFingerprint(trace []core.Transition) uint64 {
+	return canon.Hash64String(traceKey(trace))
+}
+
 // violations returns the merged set in deterministic order: by
-// property name, then error text.
+// property name, then error text — minus entries whose (property,
+// trace fingerprint) duplicates an earlier one.
 func (c *collector) violations() []core.Violation {
 	c.mu.Lock()
 	out := make([]core.Violation, 0, len(c.m))
@@ -72,5 +88,19 @@ func (c *collector) violations() []core.Violation {
 		}
 		return out[i].Err.Error() < out[j].Err.Error()
 	})
-	return out
+	type traceID struct {
+		property string
+		fp       uint64
+	}
+	seen := make(map[traceID]bool, len(out))
+	deduped := out[:0]
+	for _, v := range out {
+		id := traceID{v.Property, TraceFingerprint(v.Trace)}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		deduped = append(deduped, v)
+	}
+	return deduped
 }

@@ -16,7 +16,12 @@
 //     depth-first, thieves steal breadth-first) and seeded random-walk
 //     swarms (swarm.go),
 //   - a merged, deterministic Report: violations deduplicated by
-//     property + error, shortest trace wins (report.go).
+//     property + error and by trace fingerprint, shortest trace wins
+//     (report.go).
+//
+// Both strategies implement core.Engine (Parallel, SwarmEngine), honor
+// context cancellation and the core.EngineOptions budgets, and stream
+// violations-as-found plus periodic progress to a core.Observer.
 //
 // Workers=1 delegates to the sequential core.Checker, which stays the
 // reference oracle; search_test.go asserts differential parity between
@@ -24,6 +29,7 @@
 package search
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -58,7 +64,7 @@ func (s Strategy) String() string {
 	if s == Swarm {
 		return "swarm"
 	}
-	return "hybrid"
+	return "parallel"
 }
 
 // Options tunes a parallel search.
@@ -132,13 +138,140 @@ func Run(cfg *core.Config, workers int) *core.Report {
 
 // Run executes the search and returns the merged report.
 func (e *Engine) Run() *core.Report {
+	return e.RunContext(context.Background(), core.EngineOptions{})
+}
+
+// RunContext executes the search with runtime controls: context
+// cancellation, the core.EngineOptions budgets (MaxStates and
+// MaxTransitions; option-level budgets merge with the Config's, smaller
+// nonzero bound wins), and streaming to the options' Observer. Worker
+// and walk sizing come from the engine's own Options; the
+// EngineOptions' Workers/Seed/Walks/Steps fields are ignored here (the
+// core.Engine adapters map them into Options at construction).
+//
+// On abort the merged report is partial but replayable: every recorded
+// trace reproduces deterministically from the initial state.
+func (e *Engine) RunContext(ctx context.Context, eo core.EngineOptions) *core.Report {
 	if e.opts.Strategy == Swarm {
-		return e.runSwarm()
+		return e.runSwarm(ctx, eo)
 	}
 	if e.opts.workers() == 1 {
-		return core.NewCheckerWith(e.cfg, e.caches).Run()
+		// The delegated report keeps Strategy "dfs": the sequential
+		// checker really ran, and its Progress snapshots say so — the
+		// report and the stream must agree.
+		return core.NewCheckerWith(e.cfg, e.caches).RunContext(ctx, eo)
 	}
-	return e.runHybrid()
+	return e.runHybrid(ctx, eo)
+}
+
+// Parallel returns the work-stealing Hybrid engine as a core.Engine:
+// worker count from EngineOptions.Workers (0 = all CPUs; 1 delegates to
+// the sequential checker).
+func Parallel() core.Engine { return parallelEngine{} }
+
+type parallelEngine struct{}
+
+func (parallelEngine) Name() string { return "parallel" }
+
+func (parallelEngine) Search(ctx context.Context, cfg *core.Config, eo core.EngineOptions) *core.Report {
+	e := NewWith(cfg, Options{Workers: eo.Workers}, eo.CacheSet())
+	return e.RunContext(ctx, eo)
+}
+
+// SwarmEngine returns the parallel seeded-swarm strategy as a
+// core.Engine: EngineOptions' Seed/Walks/Steps size the swarm and
+// Workers sizes the pool.
+func SwarmEngine() core.Engine { return swarmEngine{} }
+
+type swarmEngine struct{}
+
+func (swarmEngine) Name() string { return "swarm" }
+
+func (swarmEngine) Search(ctx context.Context, cfg *core.Config, eo core.EngineOptions) *core.Report {
+	e := NewWith(cfg, Options{
+		Strategy: Swarm, Workers: eo.Workers,
+		Seed: eo.Seed, Walks: eo.Walks, Steps: eo.Steps,
+	}, eo.CacheSet())
+	return e.RunContext(ctx, eo)
+}
+
+// stopControl is the shared stop flag plus the first-wins stop reason.
+type stopControl struct {
+	stop   atomic.Bool
+	reason atomic.Int32 // index into stopReasons
+}
+
+var stopReasons = [...]core.StopReason{
+	core.StopNone, core.StopViolation, core.StopMaxTransitions,
+	core.StopMaxStates, core.StopDeadline, core.StopCanceled,
+}
+
+func reasonIndex(r core.StopReason) int32 {
+	for i, s := range stopReasons {
+		if s == r {
+			return int32(i)
+		}
+	}
+	return 0
+}
+
+// abort raises the stop flag; the first reason recorded wins.
+func (s *stopControl) abort(r core.StopReason) {
+	s.reason.CompareAndSwap(0, reasonIndex(r))
+	s.stop.Store(true)
+}
+
+func (s *stopControl) stopReason() core.StopReason {
+	return stopReasons[s.reason.Load()]
+}
+
+// watchContext aborts the search when ctx is done. The returned func
+// stops the watcher; call it once the workers have drained.
+func watchContext(ctx context.Context, sc *stopControl) func() {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			sc.abort(core.ContextStopReason(ctx))
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// startProgress streams periodic snapshots to the observer from one
+// ticker goroutine. The returned func joins that goroutine and then
+// emits the final snapshot, so the Final=true snapshot is always the
+// last OnProgress call — nothing fires after Run returns.
+func startProgress(eo core.EngineOptions, snap func() core.Progress) func() {
+	if eo.Observer == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		ticker := time.NewTicker(eo.ProgressInterval())
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				eo.Observer.OnProgress(snap())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-idle
+		p := snap()
+		p.Final = true
+		eo.Observer.OnProgress(p)
+	}
 }
 
 // hybridState is the counters and control shared by the Hybrid workers.
@@ -151,25 +284,37 @@ type hybridState struct {
 	unique      atomic.Int64
 	revisits    atomic.Int64
 	truncated   atomic.Int64
+	maxDepth    atomic.Int64 // deepest pushed trace (observer runs only)
 
-	stop       atomic.Bool // StopAtFirstViolation or budget hit
-	incomplete atomic.Bool // MaxTransitions aborted the search
+	ctl       stopControl
+	maxTrans  int64 // merged transition budget (0 = unlimited)
+	maxStates int64
+	obs       core.Observer
 }
 
-func (e *Engine) runHybrid() *core.Report {
+func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Report {
 	workers := e.opts.workers()
 	start := time.Now()
 
 	st := &hybridState{
-		seen:  newSeenSet(e.opts.shards()),
-		viols: newCollector(),
+		seen:      newSeenSet(e.opts.shards()),
+		viols:     newCollector(),
+		maxTrans:  eo.EffectiveMaxTransitions(e.cfg),
+		maxStates: eo.MaxStates,
+		obs:       eo.Observer,
 	}
-	st.frontier = newFrontier(workers, &st.stop)
+	st.frontier = newFrontier(workers, &st.ctl.stop)
 
 	root := core.NewSystemWith(e.cfg, e.caches)
 	st.seen.Add(root.Fingerprint())
 	st.unique.Add(1)
 	st.frontier.push(0, item{sys: root})
+
+	unwatch := watchContext(ctx, &st.ctl)
+	snap := func() core.Progress {
+		return e.snapshot(st, start)
+	}
+	stopProgress := startProgress(eo, snap)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -187,8 +332,10 @@ func (e *Engine) runHybrid() *core.Report {
 		}(w)
 	}
 	wg.Wait()
+	unwatch()
 
-	return &core.Report{
+	reason := st.ctl.stopReason()
+	report := &core.Report{
 		Transitions:  st.transitions.Load(),
 		UniqueStates: st.unique.Load(),
 		Revisits:     st.revisits.Load(),
@@ -196,8 +343,26 @@ func (e *Engine) runHybrid() *core.Report {
 		SERuns:       e.caches.SERuns(),
 		Violations:   st.viols.violations(),
 		Elapsed:      time.Since(start),
-		Complete:     !st.incomplete.Load(),
+		Complete:     !reason.Partial(),
+		Strategy:     "parallel",
+		StopReason:   reason,
 	}
+	stopProgress()
+	return report
+}
+
+func (e *Engine) snapshot(st *hybridState, start time.Time) core.Progress {
+	return core.Progress{
+		Strategy:     "parallel",
+		Elapsed:      time.Since(start),
+		Transitions:  st.transitions.Load(),
+		UniqueStates: st.unique.Load(),
+		Revisits:     st.revisits.Load(),
+		Truncated:    st.truncated.Load(),
+		SERuns:       e.caches.SERuns(),
+		Frontier:     st.frontier.pending.Load(),
+		Depth:        int(st.maxDepth.Load()),
+	}.Rated()
 }
 
 // expand processes one frontier item, mirroring the sequential
@@ -208,7 +373,7 @@ func (e *Engine) runHybrid() *core.Report {
 // paper's checker "saves the error and trace and does not explore past
 // a violating state".
 func (e *Engine) expand(w int, it item, st *hybridState) {
-	if st.stop.Load() {
+	if st.ctl.stop.Load() {
 		return
 	}
 	enabled := it.sys.Enabled()
@@ -227,15 +392,14 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 	}
 
 	for _, t := range enabled {
-		if st.stop.Load() {
+		if st.ctl.stop.Load() {
 			return
 		}
 		// Reserve the budget slot before applying, so the bound is
 		// exact even when workers race on the last transitions.
-		if n := st.transitions.Add(1); e.cfg.MaxTransitions > 0 && n > e.cfg.MaxTransitions {
+		if n := st.transitions.Add(1); st.maxTrans > 0 && n > st.maxTrans {
 			st.transitions.Add(-1)
-			st.incomplete.Store(true)
-			st.stop.Store(true)
+			st.ctl.abort(core.StopMaxTransitions)
 			return
 		}
 		child := it.sys.Clone()
@@ -255,7 +419,12 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 			continue
 		}
 		if st.seen.Add(child.Fingerprint()) {
-			st.unique.Add(1)
+			if n := st.unique.Add(1); st.maxStates > 0 && n >= st.maxStates {
+				st.ctl.abort(core.StopMaxStates)
+			}
+			if st.obs != nil {
+				maxInt64(&st.maxDepth, int64(len(next)))
+			}
 			st.frontier.push(w, item{sys: child, trace: next})
 		} else {
 			st.revisits.Add(1)
@@ -263,9 +432,21 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 	}
 }
 
+// maxInt64 lifts v into the atomic maximum.
+func maxInt64(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 func (e *Engine) record(v core.Violation, st *hybridState) {
-	st.viols.add(v)
+	if st.viols.add(v) && st.obs != nil {
+		st.obs.OnViolation(v)
+	}
 	if e.cfg.StopAtFirstViolation {
-		st.stop.Store(true)
+		st.ctl.abort(core.StopViolation)
 	}
 }

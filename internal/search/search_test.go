@@ -1,6 +1,7 @@
 package search
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 
@@ -266,5 +267,41 @@ func TestFrontierStealing(t *testing.T) {
 	}
 	if _, ok := f.popLocal(0); ok {
 		t.Fatal("deque should be empty")
+	}
+}
+
+// TestCollectorTraceDedup: the merged report keeps one violation per
+// (property, trace fingerprint) — workers or swarm walks that race to
+// the same violating execution (possibly rendering slightly different
+// error text) report it once, not once per worker — while distinct
+// traces for the same property survive under their own error keys.
+func TestCollectorTraceDedup(t *testing.T) {
+	c := newCollector()
+	traceA := []core.Transition{{Kind: core.THostDiscover, Host: 1}}
+	traceB := []core.Transition{{Kind: core.THostDiscover, Host: 1},
+		{Kind: core.TSwitchProcess, Sw: 1}}
+
+	if !c.add(core.Violation{Property: "P", Err: errors.New("worker 0 wording"), Trace: traceA}) {
+		t.Fatal("first add must report a new key")
+	}
+	if c.add(core.Violation{Property: "P", Err: errors.New("worker 0 wording"), Trace: traceA}) {
+		t.Fatal("repeat add must not report a new key")
+	}
+	// Same property and trace, different error text: merged away.
+	c.add(core.Violation{Property: "P", Err: errors.New("worker 1 wording"), Trace: traceA})
+	// Same property, genuinely different trace: kept.
+	c.add(core.Violation{Property: "P", Err: errors.New("deeper failure"), Trace: traceB})
+	// Different property, same trace: kept.
+	c.add(core.Violation{Property: "Q", Err: errors.New("other property"), Trace: traceA})
+
+	got := c.violations()
+	if len(got) != 3 {
+		for _, v := range got {
+			t.Logf("kept: %s | %v (%d steps)", v.Property, v.Err, len(v.Trace))
+		}
+		t.Fatalf("merged %d violations, want 3", len(got))
+	}
+	if TraceFingerprint(traceA) == TraceFingerprint(traceB) {
+		t.Fatal("distinct traces share a fingerprint")
 	}
 }

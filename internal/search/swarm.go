@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,20 @@ import (
 
 	"github.com/nice-go/nice/internal/core"
 )
+
+// swarmState is the counters and control shared by the swarm workers.
+type swarmState struct {
+	seen  *seenSet
+	viols *collector
+
+	transitions atomic.Int64
+	unique      atomic.Int64
+
+	ctl       stopControl
+	maxTrans  int64
+	maxStates int64
+	obs       core.Observer
+}
 
 // runSwarm scales the paper's random-walk mode (§1.3) across the
 // worker pool: Walks independent walks of at most Steps transitions,
@@ -21,16 +36,34 @@ import (
 // scheduling. The workers share the striped seen-set (UniqueStates
 // counts distinct hashes across the whole swarm) and the violation
 // collector, and all stop at the first violation when the config asks.
-func (e *Engine) runSwarm() *core.Report {
+// Context cancellation and the MaxStates/MaxTransitions budgets abort
+// the swarm with a partial, replayable report.
+func (e *Engine) runSwarm(ctx context.Context, eo core.EngineOptions) *core.Report {
 	workers := e.opts.workers()
 	walks := e.opts.walks()
 	steps := e.opts.steps()
 	start := time.Now()
 
-	seen := newSeenSet(e.opts.shards())
-	viols := newCollector()
-	var transitions atomic.Int64
-	var stop atomic.Bool
+	st := &swarmState{
+		seen:      newSeenSet(e.opts.shards()),
+		viols:     newCollector(),
+		maxTrans:  eo.EffectiveMaxTransitions(e.cfg),
+		maxStates: eo.MaxStates,
+		obs:       eo.Observer,
+	}
+
+	unwatch := watchContext(ctx, &st.ctl)
+	// Swarm snapshots carry only the counters walks track: no frontier,
+	// revisit or truncation accounting exists in this mode.
+	stopProgress := startProgress(eo, func() core.Progress {
+		return core.Progress{
+			Strategy:     "swarm",
+			Elapsed:      time.Since(start),
+			Transitions:  st.transitions.Load(),
+			UniqueStates: st.unique.Load(),
+			SERuns:       e.caches.SERuns(),
+		}.Rated()
+	})
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -38,56 +71,71 @@ func (e *Engine) runSwarm() *core.Report {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < walks; i += workers {
-				if stop.Load() {
+				if st.ctl.stop.Load() {
 					return
 				}
-				e.walk(e.opts.Seed+int64(i), steps, seen, viols, &transitions, &stop)
+				e.walk(e.opts.Seed+int64(i), steps, st)
 			}
 		}(w)
 	}
 	wg.Wait()
+	unwatch()
 
-	return &core.Report{
-		Transitions:  transitions.Load(),
-		UniqueStates: seen.Len(),
+	reason := st.ctl.stopReason()
+	report := &core.Report{
+		Transitions:  st.transitions.Load(),
+		UniqueStates: st.unique.Load(),
 		SERuns:       e.caches.SERuns(),
-		Violations:   viols.violations(),
+		Violations:   st.viols.violations(),
 		Elapsed:      time.Since(start),
-		Complete:     true,
+		Complete:     !reason.Partial(),
+		Strategy:     "swarm",
+		StopReason:   reason,
 	}
+	stopProgress()
+	return report
 }
 
 // walk is one seeded random execution from the initial state, the same
 // shape as core.RandomWalk's inner loop.
-func (e *Engine) walk(seed int64, steps int, seen *seenSet, viols *collector,
-	transitions *atomic.Int64, stop *atomic.Bool) {
+func (e *Engine) walk(seed int64, steps int, st *swarmState) {
 	rng := rand.New(rand.NewSource(seed))
 	sys := core.NewSystemWith(e.cfg, e.caches)
 	var trace []core.Transition
 	for step := 0; step < steps; step++ {
-		if stop.Load() {
+		if st.ctl.stop.Load() {
 			return
 		}
-		seen.Add(sys.Fingerprint())
+		if st.seen.Add(sys.Fingerprint()) {
+			if n := st.unique.Add(1); st.maxStates > 0 && n >= st.maxStates {
+				st.ctl.abort(core.StopMaxStates)
+			}
+		}
 		enabled := sys.Enabled()
 		if len(enabled) == 0 {
 			for _, p := range sys.Properties() {
 				if err := p.AtQuiescence(sys); err != nil {
 					e.recordSwarm(core.Violation{Property: p.Name(), Err: err,
-						Trace: cloneTrace(trace), Quiescence: true}, viols, stop)
+						Trace: cloneTrace(trace), Quiescence: true}, st)
 				}
 			}
 			return
 		}
 		t := enabled[rng.Intn(len(enabled))]
+		// Reserve the budget slot before applying, as in the hybrid
+		// engine, so the bound is exact under worker races.
+		if n := st.transitions.Add(1); st.maxTrans > 0 && n > st.maxTrans {
+			st.transitions.Add(-1)
+			st.ctl.abort(core.StopMaxTransitions)
+			return
+		}
 		events := sys.Apply(t)
-		transitions.Add(1)
 		trace = append(trace, t)
 		violated := false
 		for _, p := range sys.Properties() {
 			if err := p.OnEvents(sys, events); err != nil {
 				e.recordSwarm(core.Violation{Property: p.Name(), Err: err,
-					Trace: cloneTrace(trace)}, viols, stop)
+					Trace: cloneTrace(trace)}, st)
 				violated = true
 			}
 		}
@@ -97,10 +145,12 @@ func (e *Engine) walk(seed int64, steps int, seen *seenSet, viols *collector,
 	}
 }
 
-func (e *Engine) recordSwarm(v core.Violation, viols *collector, stop *atomic.Bool) {
-	viols.add(v)
+func (e *Engine) recordSwarm(v core.Violation, st *swarmState) {
+	if st.viols.add(v) && st.obs != nil {
+		st.obs.OnViolation(v)
+	}
 	if e.cfg.StopAtFirstViolation {
-		stop.Store(true)
+		st.ctl.abort(core.StopViolation)
 	}
 }
 

@@ -21,10 +21,17 @@
 //		Properties:           []nice.Property{nice.NewStrictDirectPaths()},
 //		StopAtFirstViolation: true,
 //	}
-//	report := nice.Check(cfg)
+//	report := nice.Run(context.Background(), cfg)
 //	if v := report.FirstViolation(); v != nil {
 //		fmt.Println(v) // property, cause, replayable trace
 //	}
+//
+// Run is the single entry point for every exploration mode: the
+// sequential DFS reference search (default), the parallel
+// work-stealing engine (WithWorkers), random walks and seeded swarms
+// (WithWalks), with wall-clock/state/transition budgets (WithDeadline,
+// WithMaxStates, WithMaxTransitions), context cancellation, and
+// streaming results (WithObserver) — see run.go.
 //
 // The package exposes the building blocks as documented aliases:
 //
@@ -211,6 +218,9 @@ func NewChecker(cfg *Config) *Checker { return core.NewChecker(cfg) }
 
 // Check runs a full depth-first search and returns the report — the
 // paper's default mode.
+//
+// Deprecated: use Run(ctx, cfg), which adds cancellation, budgets and
+// streaming. Check(cfg) is exactly Run(context.Background(), cfg).
 func Check(cfg *Config) *Report { return core.NewChecker(cfg).Run() }
 
 // CheckParallel runs the same full search on the parallel
@@ -222,6 +232,8 @@ func Check(cfg *Config) *Report { return core.NewChecker(cfg).Run() }
 // transition counts match exactly when state identity is
 // schedule-independent (cfg.DisableSE, or warmed discover caches) and
 // can differ slightly on cold SE-enabled runs.
+//
+// Deprecated: use Run(ctx, cfg, WithWorkers(workers)).
 func CheckParallel(cfg *Config, workers int) *Report { return search.Run(cfg, workers) }
 
 // NewSimulator boots a system for interactive stepping (§1.3's
@@ -230,6 +242,8 @@ func NewSimulator(cfg *Config) *Simulator { return core.NewSimulator(cfg) }
 
 // RandomWalk performs seeded random executions (§1.3's "random walks on
 // system states").
+//
+// Deprecated: use Run(ctx, cfg, WithWalks(seed, walks, maxSteps)).
 func RandomWalk(cfg *Config, seed int64, walks, maxSteps int) *Report {
 	return core.RandomWalk(cfg, seed, walks, maxSteps)
 }

@@ -1,0 +1,188 @@
+package nice
+
+import (
+	"context"
+	"time"
+
+	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice/internal/search"
+)
+
+// Streaming and engine plumbing (internal/core), re-exported so Run's
+// options can be used without importing internal packages.
+type (
+	// Engine is a pluggable search strategy: the sequential DFS
+	// checker, the parallel work-stealing engine, random walks and the
+	// seeded swarm all implement it. Run drives whichever is selected.
+	Engine = core.Engine
+	// Observer receives streaming search results: violations as they
+	// are found and periodic Progress snapshots. Parallel engines call
+	// it from multiple goroutines; implementations must be safe for
+	// concurrent use.
+	Observer = core.Observer
+	// ObserverFuncs adapts plain functions to Observer.
+	ObserverFuncs = core.ObserverFuncs
+	// Progress is one periodic snapshot of a running search.
+	Progress = core.Progress
+	// StopReason explains why a search ended early.
+	StopReason = core.StopReason
+	// Caches is the shared discover-cache set (symbolic-execution
+	// results); share one across Runs to start warm.
+	Caches = core.Caches
+)
+
+// Stop reasons recorded in Report.StopReason.
+const (
+	StopNone           = core.StopNone
+	StopViolation      = core.StopViolation
+	StopMaxTransitions = core.StopMaxTransitions
+	StopMaxStates      = core.StopMaxStates
+	StopDeadline       = core.StopDeadline
+	StopCanceled       = core.StopCanceled
+)
+
+// NewCaches builds a fresh discover-cache set for WithCaches.
+func NewCaches() *Caches { return core.NewCaches() }
+
+// The four built-in engines.
+var (
+	// SequentialDFS is the paper's default full depth-first search
+	// (Figure 5) — the reference oracle. Run's default engine.
+	SequentialDFS = core.DFS
+	// ParallelHybrid is the work-stealing parallel search
+	// (internal/search): owners expand depth-first, thieves steal
+	// breadth-first. WithWorkers sizes the pool; 1 delegates to the
+	// sequential checker.
+	ParallelHybrid = search.Parallel
+	// RandomWalks is the legacy sequential random-walk mode (§1.3):
+	// walks drawn from one seeded rand stream.
+	RandomWalks = core.Walks
+	// SeededSwarm is the parallel random-walk swarm: walk i always
+	// uses seed+i, so the walk set is worker-count-invariant when
+	// state identity is schedule-independent.
+	SeededSwarm = search.SwarmEngine
+)
+
+// runSettings collects Run's functional options.
+type runSettings struct {
+	engine     Engine
+	eo         core.EngineOptions
+	deadline   time.Duration
+	workersSet bool
+	walkMode   bool
+}
+
+// RunOption configures one Run call.
+type RunOption func(*runSettings)
+
+// WithEngine selects the search engine explicitly, overriding the
+// defaults inferred from the other options.
+func WithEngine(e Engine) RunOption {
+	return func(s *runSettings) { s.engine = e }
+}
+
+// WithDeadline bounds the search's wall-clock time. The report of a
+// search that hits the deadline is partial (Complete false, StopReason
+// deadline) but every recorded trace still replays deterministically.
+func WithDeadline(d time.Duration) RunOption {
+	return func(s *runSettings) { s.deadline = d }
+}
+
+// WithMaxStates aborts the search once n unique states have been
+// reached (the sequential engine stops exactly at n; parallel engines
+// may overshoot by at most the worker count).
+func WithMaxStates(n int64) RunOption {
+	return func(s *runSettings) { s.eo.MaxStates = n }
+}
+
+// WithMaxTransitions aborts the search after n executed transitions.
+// When Config.MaxTransitions is also set, the smaller budget wins.
+func WithMaxTransitions(n int64) RunOption {
+	return func(s *runSettings) { s.eo.MaxTransitions = n }
+}
+
+// WithWorkers sizes the worker pool (0 = all CPUs) and, unless an
+// engine was chosen explicitly, selects the parallel engine — the
+// hybrid full search, or the swarm when WithWalks is also present.
+// Workers=1 delegates to the sequential reference checker, so
+// WithWorkers(1) reproduces the default engine's reports exactly.
+func WithWorkers(n int) RunOption {
+	return func(s *runSettings) { s.eo.Workers = n; s.workersSet = true }
+}
+
+// WithWalks switches Run to random-walk mode: `walks` walks of at most
+// `steps` transitions (0 picks the defaults 64 and 100), driven by
+// seed. Combined with WithWorkers it selects the parallel SeededSwarm;
+// alone it selects the sequential RandomWalks engine.
+func WithWalks(seed int64, walks, steps int) RunOption {
+	return func(s *runSettings) {
+		s.eo.Seed = seed
+		s.eo.Walks = walks
+		s.eo.Steps = steps
+		s.walkMode = true
+	}
+}
+
+// WithObserver streams violations-as-found and periodic progress
+// snapshots to o while the search runs.
+func WithObserver(o Observer) RunOption {
+	return func(s *runSettings) { s.eo.Observer = o }
+}
+
+// WithProgressEvery sets the Observer's progress-snapshot interval
+// (default 500ms).
+func WithProgressEvery(d time.Duration) RunOption {
+	return func(s *runSettings) { s.eo.ProgressEvery = d }
+}
+
+// WithCaches shares a discover-cache set across Runs, so later searches
+// start with warm symbolic-execution results (and state identity stays
+// schedule-independent across engines — the differential-parity
+// setting).
+func WithCaches(cc *Caches) RunOption {
+	return func(s *runSettings) { s.eo.Caches = cc }
+}
+
+// Run is the unified checking entry point: one search over cfg, on a
+// pluggable engine, under a context and budgets, optionally streaming
+// to an Observer — the paper's single search loop (§1.3, §4) behind
+// one composable API.
+//
+// Engine selection, unless WithEngine overrides it:
+//
+//   - default: SequentialDFS, the reference full search (Run(ctx, cfg)
+//     ≡ the deprecated Check(cfg));
+//   - WithWorkers(n): ParallelHybrid — the same full search spread
+//     over n workers (n=1 delegates to the sequential checker);
+//   - WithWalks(...): RandomWalks, or SeededSwarm when WithWorkers is
+//     also given.
+//
+// Cancel ctx, set WithDeadline, or exhaust WithMaxStates /
+// WithMaxTransitions and Run returns a partial Report — Complete
+// false, StopReason saying why — whose violation traces still replay
+// deterministically via Checker.ReplayWithProperties.
+func Run(ctx context.Context, cfg *Config, opts ...RunOption) *Report {
+	var s runSettings
+	for _, opt := range opts {
+		opt(&s)
+	}
+	engine := s.engine
+	if engine == nil {
+		switch {
+		case s.walkMode && s.workersSet:
+			engine = SeededSwarm()
+		case s.walkMode:
+			engine = RandomWalks()
+		case s.workersSet:
+			engine = ParallelHybrid()
+		default:
+			engine = SequentialDFS()
+		}
+	}
+	if s.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.deadline)
+		defer cancel()
+	}
+	return engine.Search(ctx, cfg, s.eo)
+}
