@@ -1,0 +1,84 @@
+package energyte
+
+import (
+	"testing"
+
+	"github.com/nice-go/nice/controller"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
+)
+
+func TestBarrierVariantParksPacketUntilAcks(t *testing.T) {
+	app, _ := newApp(FixVIII, 0)
+	app.UseBarriers = true
+	statsReply(app, threshold+100) // high load: BUG-X level routes on-demand (3 hops)
+	ctx := newCtx()
+	dispatch(app, ctx, 1, flowTo(topo.MACHostB, topo.IPHostB), 1)
+
+	msgs := ctx.Messages()
+	var installs, barriers, packetOuts int
+	var xids []int
+	for _, m := range msgs {
+		switch m.Type {
+		case openflow.MsgFlowMod:
+			installs++
+		case openflow.MsgBarrierRequest:
+			barriers++
+			xids = append(xids, m.Xid)
+		case openflow.MsgPacketOut:
+			packetOuts++
+		}
+	}
+	if installs != 3 || barriers != 2 || packetOuts != 0 {
+		t.Fatalf("installs=%d barriers=%d packet_outs=%d (want 3/2/0)", installs, barriers, packetOuts)
+	}
+	if len(app.pending) != 1 {
+		t.Fatalf("pending releases: %d", len(app.pending))
+	}
+
+	// First ack: still parked. Second ack: released.
+	ctx2 := newCtx()
+	app.BarrierReply(ctx2, 3, xids[0])
+	if len(ctx2.Messages()) != 0 || len(app.pending) != 1 {
+		t.Fatal("released after only one barrier ack")
+	}
+	ctx3 := newCtx()
+	app.BarrierReply(ctx3, 2, xids[1])
+	if len(ctx3.Messages()) != 1 || ctx3.Messages()[0].Type != openflow.MsgPacketOut {
+		t.Fatalf("release messages: %v", ctx3.Messages())
+	}
+	if len(app.pending) != 0 {
+		t.Error("pending entry not cleared")
+	}
+}
+
+func TestBarrierReplyForUnknownXidIsNoOp(t *testing.T) {
+	app, _ := newApp(FixVIII, 0)
+	app.UseBarriers = true
+	ctx := newCtx()
+	app.BarrierReply(ctx, 2, 999)
+	if len(ctx.Messages()) != 0 {
+		t.Error("unknown xid produced output")
+	}
+}
+
+func TestBarrierVariantCloneIsolation(t *testing.T) {
+	app, _ := newApp(FixVIII, 0)
+	app.UseBarriers = true
+	dispatch(app, newCtx(), 1, flowTo(topo.MACHostB, topo.IPHostB), 1)
+	if len(app.pending) != 0 {
+		// Always-on path has one downstream switch: one barrier.
+		t.Logf("pending after always-on install: %d", len(app.pending))
+	}
+	c := app.Clone().(*App)
+	var xid int
+	for i := range c.pending {
+		for x := range c.pending[i].Waiting {
+			xid = x
+		}
+	}
+	c.BarrierReply(controller.NewContext(nil), 2, xid)
+	if len(app.pending) == len(c.pending) {
+		t.Error("clone ack mutated original's pending set (or no pending existed)")
+	}
+}

@@ -1,0 +1,327 @@
+// Package pyswitch is the MAC-learning switch application of the paper's
+// Figure 3 — a faithful port of the NOX pyswitch pseudo-code. The
+// default (buggy) variant reproduces the three published defects:
+//
+//	BUG-I   host unreachable after moving (NoBlackHoles)
+//	BUG-II  delayed direct path (StrictDirectPaths)
+//	BUG-III excess flooding on cyclic topologies (NoForwardingLoops)
+//
+// The Fixed variant applies the paper's remedies: hard timeouts on
+// learned rules (I), ordered installation of both directions' rules
+// before releasing the triggering packet (II), and spanning-tree
+// flooding (III).
+package pyswitch
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/nice-go/nice/controller"
+	"github.com/nice-go/nice/internal/sym"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
+)
+
+// Variant selects the published code or the repaired code.
+type Variant int
+
+const (
+	// Buggy is the pyswitch as published (Figure 3).
+	Buggy Variant = iota
+	// Fixed applies the paper's fixes for BUG-I, BUG-II and BUG-III.
+	Fixed
+)
+
+// App is the MAC-learning controller application. Controller state is
+// the per-switch MAC table of Figure 3's ctrl_state.
+type App struct {
+	controller.BaseApp
+	controller.VersionCounter
+
+	variant Variant
+	topo    *topo.Topology
+
+	// mactable[sw][mac] = port, exactly Figure 3's
+	// ctrl_state[sw_id][pkt.src] = inport.
+	mactable map[openflow.SwitchID]map[openflow.EthAddr]openflow.PortID
+
+	// stPorts caches the spanning-tree flood ports per switch (Fixed
+	// only; immutable after construction).
+	stPorts map[openflow.SwitchID][]openflow.PortID
+}
+
+// New builds the application for a topology.
+func New(variant Variant, t *topo.Topology) *App {
+	a := &App{
+		variant:  variant,
+		topo:     t,
+		mactable: make(map[openflow.SwitchID]map[openflow.EthAddr]openflow.PortID),
+	}
+	if variant == Fixed {
+		a.stPorts = spanningTreePorts(t)
+	}
+	return a
+}
+
+// Name implements controller.App.
+func (a *App) Name() string {
+	if a.variant == Fixed {
+		return "pyswitch-fixed"
+	}
+	return "pyswitch"
+}
+
+// Clone implements controller.App.
+func (a *App) Clone() controller.App {
+	c := &App{VersionCounter: a.VersionCounter,
+		variant: a.variant, topo: a.topo, stPorts: a.stPorts,
+		mactable: make(map[openflow.SwitchID]map[openflow.EthAddr]openflow.PortID, len(a.mactable))}
+	for sw, t := range a.mactable {
+		m := make(map[openflow.EthAddr]openflow.PortID, len(t))
+		for k, v := range t {
+			m[k] = v
+		}
+		c.mactable[sw] = m
+	}
+	return c
+}
+
+// StateKey implements controller.App with a hand-written sorted
+// rendering of the MAC table (the reflective canon.String walk this
+// replaces dominated AppKey cost; TestStateKeyMatchesCanon holds the two
+// to the same equality semantics).
+func (a *App) StateKey() string {
+	sws := make([]openflow.SwitchID, 0, len(a.mactable))
+	for sw := range a.mactable {
+		sws = append(sws, sw)
+	}
+	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	b := make([]byte, 0, 64)
+	b = append(b, '{')
+	for i, sw := range sws {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, int64(sw), 10)
+		b = append(b, ":{"...)
+		t := a.mactable[sw]
+		macs := make([]openflow.EthAddr, 0, len(t))
+		for mac := range t {
+			macs = append(macs, mac)
+		}
+		sort.Slice(macs, func(i, j int) bool { return macs[i] < macs[j] })
+		for j, mac := range macs {
+			if j > 0 {
+				b = append(b, ' ')
+			}
+			b = strconv.AppendUint(b, uint64(mac), 10)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, int64(t[mac]), 10)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// SwitchJoin initializes the switch's MAC table (Figure 3 lines 17-19).
+func (a *App) SwitchJoin(_ *controller.Context, sw openflow.SwitchID) {
+	if _, ok := a.mactable[sw]; !ok {
+		a.BumpStateVersion()
+		a.mactable[sw] = make(map[openflow.EthAddr]openflow.PortID)
+	}
+}
+
+// SwitchLeave deletes it (lines 20-22).
+func (a *App) SwitchLeave(_ *controller.Context, sw openflow.SwitchID) {
+	if _, ok := a.mactable[sw]; ok {
+		a.BumpStateVersion()
+		delete(a.mactable, sw)
+	}
+}
+
+// PortStatus purges MAC-table entries learned on a port that went down
+// (Fixed only; part of the BUG-I remedy: with the stale rule expiring
+// via its hard timeout AND the stale learned location forgotten, traffic
+// to a moved host floods and reaches its new attachment).
+func (a *App) PortStatus(ctx *controller.Context, sw openflow.SwitchID, port openflow.PortID, up bool) {
+	if a.variant != Fixed || up {
+		return
+	}
+	for mac, p := range a.mactable[sw] {
+		if p == port {
+			a.BumpStateVersion()
+			delete(a.mactable[sw], mac)
+		}
+	}
+	// Also clear any forwarding rules pointing at the dead port: the
+	// learned rules match on IN_PORT, so deleting by ingress is not
+	// possible; instead expire-by-timeout covers them (hard timeout),
+	// and new traffic floods meanwhile.
+	_ = ctx
+}
+
+// PacketIn is Figure 3's handler, line for line. Packet-dependent
+// branches go through ctx.If / sym.LookupEth so the same code serves
+// concrete dispatch and discover_packets.
+func (a *App) PacketIn(ctx *controller.Context, sw openflow.SwitchID, pkt *sym.Packet,
+	buf openflow.BufferID, _ openflow.PacketInReason) {
+
+	mactable := a.mactable[sw] // line 3
+	inport := pkt.InPort()
+
+	// Lines 4-5: is_bcast_src = pkt.src[0] & 1 (and dst).
+	isBcastSrc := pkt.EthSrc().Byte(0, 6).And(sym.Concrete(1)).EqConst(1)
+	isBcastDst := pkt.EthDst().Byte(0, 6).And(sym.Concrete(1)).EqConst(1)
+
+	// Lines 6-7: learn the source port.
+	if !ctx.If(isBcastSrc) {
+		a.BumpStateVersion()
+		mactable[openflow.EthAddr(pkt.EthSrc().C)] = inport
+	}
+
+	// Line 8: known unicast destination?
+	if !ctx.If(isBcastDst) {
+		if outport, ok := sym.LookupEth(ctx.Trace(), mactable, pkt.EthDst()); ok {
+			if outport != inport { // line 10
+				hdr := pkt.Header()
+				a.installPath(ctx, sw, hdr, inport, outport, buf)
+				return // line 15
+			}
+			// Destination learned on the ingress port: nothing to
+			// do; fall through to flood, as pyswitch does.
+		}
+	}
+
+	// Line 16: flood.
+	a.flood(ctx, sw, inport, buf)
+}
+
+// installPath performs lines 11-14: install the forwarding rule and
+// release the packet along it.
+func (a *App) installPath(ctx *controller.Context, sw openflow.SwitchID,
+	hdr openflow.Header, inport, outport openflow.PortID, buf openflow.BufferID) {
+
+	// Line 11: match on DL_SRC, DL_DST, DL_TYPE, IN_PORT.
+	match := openflow.MatchAll().
+		With(openflow.FieldEthSrc, uint64(hdr.EthSrc)).
+		With(openflow.FieldEthDst, uint64(hdr.EthDst)).
+		With(openflow.FieldEthType, uint64(hdr.EthType)).
+		With(openflow.FieldInPort, uint64(inport))
+
+	hard := openflow.Permanent
+	if a.variant == Fixed {
+		// BUG-I fix: a hard timeout lets stale location rules expire
+		// so a moved host becomes reachable again via flooding.
+		hard = 3
+	}
+
+	if a.variant == Fixed {
+		// BUG-II fix: also install the reverse direction — and
+		// install it FIRST, so the released packet cannot outrun the
+		// rule that its reply will need ("A correct fix would install
+		// the rule for traffic from A first, before allowing the
+		// packet from B to A to traverse the switch", §8.1).
+		reverse := openflow.MatchAll().
+			With(openflow.FieldEthSrc, uint64(hdr.EthDst)).
+			With(openflow.FieldEthDst, uint64(hdr.EthSrc)).
+			With(openflow.FieldEthType, uint64(hdr.EthType)).
+			With(openflow.FieldInPort, uint64(outport))
+		ctx.InstallRule(sw, openflow.Rule{
+			Priority: 10, Match: reverse,
+			Actions:     []openflow.Action{openflow.Output(inport)},
+			IdleTimeout: 5, HardTimeout: hard,
+		})
+	}
+
+	// Line 13: install_rule(sw, match, [output], soft_timer=5,
+	// hard_timer=PERMANENT).
+	ctx.InstallRule(sw, openflow.Rule{
+		Priority: 10, Match: match,
+		Actions:     []openflow.Action{openflow.Output(outport)},
+		IdleTimeout: 5, HardTimeout: hard,
+	})
+	// Line 14: send_packet_out(sw, pkt, bufid).
+	ctx.PacketOut(sw, buf, openflow.Output(outport))
+}
+
+// flood releases the packet to all ports (buggy) or along the spanning
+// tree (fixed, BUG-III's remedy: pyswitch "does not construct a
+// spanning tree", §8.1).
+func (a *App) flood(ctx *controller.Context, sw openflow.SwitchID,
+	inport openflow.PortID, buf openflow.BufferID) {
+
+	if ctx.Symbolic() {
+		// Effects are discarded during discover_packets; the branch
+		// structure above is what matters.
+		return
+	}
+	if a.variant != Fixed {
+		ctx.FloodPacket(sw, buf)
+		return
+	}
+	var actions []openflow.Action
+	for _, p := range a.stPorts[sw] {
+		if p != inport {
+			actions = append(actions, openflow.Output(p))
+		}
+	}
+	if len(actions) == 0 {
+		actions = []openflow.Action{openflow.Drop()}
+	}
+	ctx.PacketOut(sw, buf, actions...)
+}
+
+// spanningTreePorts computes, per switch, the ports on a BFS spanning
+// tree of the switch graph plus all host-facing (non-link) ports.
+func spanningTreePorts(t *topo.Topology) map[openflow.SwitchID][]openflow.PortID {
+	specs := t.Switches()
+	if len(specs) == 0 {
+		return nil
+	}
+	inTree := make(map[[2]openflow.SwitchID]bool)
+	visited := map[openflow.SwitchID]bool{specs[0].ID: true}
+	queue := []openflow.SwitchID{specs[0].ID}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var nbrs []openflow.SwitchID
+		for _, l := range t.Links() {
+			if l.A.Sw == cur {
+				nbrs = append(nbrs, l.B.Sw)
+			}
+			if l.B.Sw == cur {
+				nbrs = append(nbrs, l.A.Sw)
+			}
+		}
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, nb := range nbrs {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			inTree[[2]openflow.SwitchID{cur, nb}] = true
+			inTree[[2]openflow.SwitchID{nb, cur}] = true
+			queue = append(queue, nb)
+		}
+	}
+	out := make(map[openflow.SwitchID][]openflow.PortID, len(specs))
+	for _, spec := range specs {
+		linkPorts := make(map[openflow.PortID]openflow.SwitchID)
+		for _, l := range t.Links() {
+			if l.A.Sw == spec.ID {
+				linkPorts[l.A.Port] = l.B.Sw
+			}
+			if l.B.Sw == spec.ID {
+				linkPorts[l.B.Port] = l.A.Sw
+			}
+		}
+		for _, p := range spec.Ports {
+			peer, isLink := linkPorts[p]
+			if !isLink || inTree[[2]openflow.SwitchID{spec.ID, peer}] {
+				out[spec.ID] = append(out[spec.ID], p)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package pyswitch
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nice-go/nice/internal/canon"
+
+	"github.com/nice-go/nice/controller"
+	"github.com/nice-go/nice/internal/sym"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
+)
+
+func newCtx() *controller.Context { return controller.NewContext(nil) }
+
+func packetIn(app *App, ctx *controller.Context, h openflow.Header, inPort openflow.PortID) {
+	app.PacketIn(ctx, 1, sym.ConcretePacket(h, inPort), 7, openflow.ReasonNoMatch)
+}
+
+func ping() openflow.Header {
+	return openflow.Header{EthSrc: topo.MACHostA, EthDst: topo.MACHostB,
+		EthType: openflow.EthTypeIPv4, Payload: "ping"}
+}
+
+func TestLearnsSourcePort(t *testing.T) {
+	tp, _, _ := topo.SingleSwitch()
+	app := New(Buggy, tp)
+	app.SwitchJoin(newCtx(), 1)
+	packetIn(app, newCtx(), ping(), 1)
+	if got := app.mactable[1][topo.MACHostA]; got != 1 {
+		t.Errorf("A learned at port %v, want 1", got)
+	}
+}
+
+func TestBroadcastSourceNotLearned(t *testing.T) {
+	tp, _, _ := topo.SingleSwitch()
+	app := New(Buggy, tp)
+	app.SwitchJoin(newCtx(), 1)
+	h := ping()
+	h.EthSrc = openflow.BroadcastEth
+	packetIn(app, newCtx(), h, 1)
+	if len(app.mactable[1]) != 0 {
+		t.Errorf("broadcast source learned: %v", app.mactable[1])
+	}
+}
+
+func TestUnknownDestinationFloods(t *testing.T) {
+	tp, _, _ := topo.SingleSwitch()
+	app := New(Buggy, tp)
+	app.SwitchJoin(newCtx(), 1)
+	ctx := newCtx()
+	packetIn(app, ctx, ping(), 1)
+	msgs := ctx.Messages()
+	if len(msgs) != 1 || msgs[0].Type != openflow.MsgPacketOut {
+		t.Fatalf("messages: %v", msgs)
+	}
+	if msgs[0].Actions[0].Type != openflow.ActionFlood {
+		t.Errorf("expected flood, got %v", msgs[0].Actions)
+	}
+}
+
+func TestKnownDestinationInstallsOneDirection(t *testing.T) {
+	tp, _, _ := topo.SingleSwitch()
+	app := New(Buggy, tp)
+	app.SwitchJoin(newCtx(), 1)
+	packetIn(app, newCtx(), ping(), 1) // learn A@1
+
+	ctx := newCtx()
+	pong := ping()
+	pong.EthSrc, pong.EthDst = pong.EthDst, pong.EthSrc
+	packetIn(app, ctx, pong, 2) // B→A: A known
+	msgs := ctx.Messages()
+	if len(msgs) != 2 {
+		t.Fatalf("messages: %v", msgs)
+	}
+	if msgs[0].Type != openflow.MsgFlowMod || msgs[1].Type != openflow.MsgPacketOut {
+		t.Fatalf("wrong message kinds: %v, %v", msgs[0].Type, msgs[1].Type)
+	}
+	// The published code installs only the B→A rule (BUG-II's cause).
+	src, _ := msgs[0].Rule.Match.Value(openflow.FieldEthSrc)
+	if openflow.EthAddr(src) != topo.MACHostB {
+		t.Errorf("rule src %v, want B's MAC", openflow.EthAddr(src))
+	}
+	if msgs[0].Rule.IdleTimeout != 5 || msgs[0].Rule.HardTimeout != openflow.Permanent {
+		t.Errorf("timeouts: idle=%d hard=%d", msgs[0].Rule.IdleTimeout, msgs[0].Rule.HardTimeout)
+	}
+}
+
+func TestFixedInstallsBothDirectionsReverseFirst(t *testing.T) {
+	tp, _, _ := topo.SingleSwitch()
+	app := New(Fixed, tp)
+	app.SwitchJoin(newCtx(), 1)
+	packetIn(app, newCtx(), ping(), 1)
+
+	ctx := newCtx()
+	pong := ping()
+	pong.EthSrc, pong.EthDst = pong.EthDst, pong.EthSrc
+	packetIn(app, ctx, pong, 2)
+	msgs := ctx.Messages()
+	if len(msgs) != 3 {
+		t.Fatalf("messages: %v", msgs)
+	}
+	// Reverse (A→B) rule first, then forward (B→A), then packet_out.
+	src0, _ := msgs[0].Rule.Match.Value(openflow.FieldEthSrc)
+	src1, _ := msgs[1].Rule.Match.Value(openflow.FieldEthSrc)
+	if openflow.EthAddr(src0) != topo.MACHostA || openflow.EthAddr(src1) != topo.MACHostB {
+		t.Errorf("install order wrong: %v then %v", openflow.EthAddr(src0), openflow.EthAddr(src1))
+	}
+	if msgs[0].Rule.HardTimeout == openflow.Permanent {
+		t.Error("fixed variant must use a hard timeout (BUG-I remedy)")
+	}
+}
+
+func TestSamePortDestinationFloods(t *testing.T) {
+	tp, _, _ := topo.SingleSwitch()
+	app := New(Buggy, tp)
+	app.SwitchJoin(newCtx(), 1)
+	packetIn(app, newCtx(), ping(), 1) // learn A@1
+	ctx := newCtx()
+	h := ping()
+	h.EthSrc, h.EthDst = topo.MACHostB, topo.MACHostA // to A, arriving on A's port
+	packetIn(app, ctx, h, 1)
+	if ctx.Messages()[0].Actions[0].Type != openflow.ActionFlood {
+		t.Error("outport==inport case must flood, not install")
+	}
+}
+
+func TestSwitchLeaveForgets(t *testing.T) {
+	tp, _, _ := topo.SingleSwitch()
+	app := New(Buggy, tp)
+	app.SwitchJoin(newCtx(), 1)
+	packetIn(app, newCtx(), ping(), 1)
+	app.SwitchLeave(newCtx(), 1)
+	if _, ok := app.mactable[1]; ok {
+		t.Error("switch state survived leave")
+	}
+}
+
+func TestCloneAndStateKey(t *testing.T) {
+	tp, _, _ := topo.SingleSwitch()
+	app := New(Buggy, tp)
+	app.SwitchJoin(newCtx(), 1)
+	k0 := app.StateKey()
+	c := app.Clone().(*App)
+	packetIn(c, newCtx(), ping(), 1)
+	if app.StateKey() != k0 {
+		t.Error("clone mutation leaked into original")
+	}
+	if c.StateKey() == k0 {
+		t.Error("learning did not change the clone's state key")
+	}
+}
+
+func TestSymbolicRunDiscoversClasses(t *testing.T) {
+	tp, _, _ := topo.SingleSwitch()
+	app := New(Buggy, tp)
+	app.SwitchJoin(newCtx(), 1)
+	packetIn(app, newCtx(), ping(), 1) // learn A@1 so the lookup branch is live
+
+	tr := sym.NewTrace()
+	ctx := controller.NewSymContext(tr)
+	pkt := sym.SymbolicPacket(ping(), 2)
+	clone := app.Clone().(*App)
+	clone.PacketIn(ctx, 1, pkt, openflow.BufferNone, openflow.ReasonNoMatch)
+	// Branches: is_bcast_src, is_bcast_dst, mactable lookup (1 key).
+	if got := len(tr.Branches()); got < 3 {
+		t.Errorf("recorded %d branches, want >= 3", got)
+	}
+}
+
+func TestSpanningTreePortsOnCycle(t *testing.T) {
+	tp, _, _ := topo.Cycle(3)
+	st := spanningTreePorts(tp)
+	// Exactly one cycle edge must be excluded: total link-port count on
+	// the tree is 2 links × 2 ends = 4 of the 6 link ports.
+	linkPorts := 0
+	for sw, ports := range st {
+		for _, p := range ports {
+			if _, ok := tp.Peer(topo.PortKey{Sw: sw, Port: p}); ok {
+				linkPorts++
+			}
+		}
+	}
+	if linkPorts != 4 {
+		t.Errorf("spanning tree keeps %d link ports, want 4", linkPorts)
+	}
+	// Host ports always flood.
+	for sw := openflow.SwitchID(1); sw <= 3; sw++ {
+		found := false
+		for _, p := range st[sw] {
+			if p == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("host port of %v missing from flood set", sw)
+		}
+	}
+}
+
+// TestStateKeyMatchesCanon holds the hand-written StateKey encoder to
+// the reflective canon.String rendering of the same MAC table: two
+// tables render equal under one iff they render equal under the other,
+// across a spread of randomized table shapes.
+func TestStateKeyMatchesCanon(t *testing.T) {
+	tp, _, _ := topo.Linear(2)
+	rng := rand.New(rand.NewSource(11))
+	mk := func() *App {
+		a := New(Buggy, tp)
+		for sw := 1; sw <= rng.Intn(3); sw++ {
+			a.mactable[openflow.SwitchID(sw)] = make(map[openflow.EthAddr]openflow.PortID)
+			for m := 0; m < rng.Intn(4); m++ {
+				a.mactable[openflow.SwitchID(sw)][openflow.EthAddr(rng.Intn(6)*2)] =
+					openflow.PortID(rng.Intn(3) + 1)
+			}
+		}
+		return a
+	}
+	apps := make([]*App, 40)
+	for i := range apps {
+		apps[i] = mk()
+	}
+	for i, a := range apps {
+		for j, b := range apps {
+			handEq := a.StateKey() == b.StateKey()
+			canonEq := canon.String(a.mactable) == canon.String(b.mactable)
+			if handEq != canonEq {
+				t.Fatalf("apps %d/%d: hand-written equality %t, canon equality %t\nhand a: %s\nhand b: %s",
+					i, j, handEq, canonEq, a.StateKey(), b.StateKey())
+			}
+		}
+	}
+	// Version hook sanity: a learn bumps the version, rendering changes.
+	a := New(Buggy, tp)
+	ctx := newCtx()
+	a.SwitchJoin(ctx, 1)
+	v0 := a.StateVersion()
+	packetIn(a, ctx, ping(), 2)
+	if a.StateVersion() == v0 {
+		t.Error("PacketIn learn did not bump the state version")
+	}
+}

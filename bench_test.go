@@ -10,6 +10,7 @@
 package nice_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -18,9 +19,9 @@ import (
 	"github.com/nice-go/nice"
 	"github.com/nice-go/nice/internal/bench"
 	"github.com/nice-go/nice/internal/core"
-	"github.com/nice-go/nice/internal/scenarios"
 	"github.com/nice-go/nice/internal/search"
 	"github.com/nice-go/nice/internal/sym"
+	"github.com/nice-go/nice/scenarios"
 )
 
 func reportSearch(b *testing.B, r *core.Report) {
@@ -390,7 +391,8 @@ func BenchmarkClone(b *testing.B) {
 
 // BenchmarkRandomWalk measures the simulator's random-walk mode.
 func BenchmarkRandomWalk(b *testing.B) {
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		core.RandomWalk(scenarios.PingPong(2), int64(i), 10, 50)
+		nice.Run(ctx, scenarios.PingPong(2), nice.WithWalks(int64(i), 10, 50))
 	}
 }

@@ -1,0 +1,443 @@
+package nice
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nice-go/nice/scenarios"
+)
+
+// CampaignJob names one search of a campaign: a registered scenario at
+// a scale, under one Table 2 strategy column, buggy or repaired.
+type CampaignJob struct {
+	// Scenario is the registry name (scenarios.Lookup key).
+	Scenario string `json:"scenario"`
+	// Scale is the scenario's scale knob (0 = scenario default).
+	Scale int `json:"scale,omitempty"`
+	// Strategy is the search strategy column ("" = pkt-seq).
+	Strategy string `json:"strategy,omitempty"`
+	// Fixed checks the repaired application instead of the buggy one.
+	Fixed bool `json:"fixed,omitempty"`
+}
+
+func (j CampaignJob) label() string {
+	s := j.Scenario
+	if j.Scale > 0 {
+		// Only claim a scale the scenario will actually apply — a
+		// campaign-wide scale over mixed jobs leaves scale-less
+		// scenarios at their fixed size.
+		if sc, ok := scenarios.Lookup(j.Scenario); !ok || sc.ScaleName != "" {
+			s = fmt.Sprintf("%s(%d)", s, j.Scale)
+		}
+	}
+	if strat, ok := scenarios.ParseStrategy(j.Strategy); ok {
+		s += "/" + strat.String()
+	} else {
+		// Keep the unknown spelling so the error row names what the
+		// job actually asked for.
+		s += "/" + j.Strategy
+	}
+	if j.Fixed {
+		s += "/fixed"
+	}
+	return s
+}
+
+// Campaign fans a set of scenario × strategy jobs through Run
+// concurrently, under shared budgets, and merges the outcomes into one
+// report — the fleet mode behind `nice run-all`.
+//
+// Budgets compose per job and campaign-wide: JobTimeout / JobMaxStates
+// bound each search individually, TotalMaxStates / TotalMaxTransitions
+// are drawn down by every completed search (later jobs start with
+// whatever remains; concurrent jobs may collectively overshoot by at
+// most Parallelism × the per-job overshoot), and cancelling ctx stops
+// everything — each cut-short search still reports a partial,
+// replayable result.
+type Campaign struct {
+	// Jobs lists the searches to run. CampaignJobs builds the
+	// scenario × strategy cross product.
+	Jobs []CampaignJob
+
+	// Parallelism bounds the number of concurrently running jobs
+	// (0 or 1 = one at a time).
+	Parallelism int
+
+	// Workers is the per-job engine worker count, as in WithWorkers
+	// (0 = all CPUs, 1 = the sequential reference checker).
+	Workers int
+
+	// JobTimeout bounds each job's wall clock (0 = unbounded).
+	JobTimeout time.Duration
+	// JobMaxStates bounds each job's unique states (0 = unbounded).
+	JobMaxStates int64
+
+	// TotalMaxStates / TotalMaxTransitions are shared campaign-wide
+	// budgets (0 = unbounded).
+	TotalMaxStates      int64
+	TotalMaxTransitions int64
+
+	// ShareCaches shares one discover-cache set between jobs of the
+	// same scenario/scale/fixed triple, so the strategy columns of one
+	// workload reuse each other's symbolic-execution results.
+	ShareCaches bool
+}
+
+// CampaignJobs builds the scenario × strategy cross product with a
+// fixed scale: the common way to fill Campaign.Jobs.
+func CampaignJobs(scenarioNames, strategies []string, scale int, fixed bool) []CampaignJob {
+	if len(strategies) == 0 {
+		strategies = []string{""}
+	}
+	jobs := make([]CampaignJob, 0, len(scenarioNames)*len(strategies))
+	for _, sc := range scenarioNames {
+		for _, st := range strategies {
+			jobs = append(jobs, CampaignJob{Scenario: sc, Scale: scale, Strategy: st, Fixed: fixed})
+		}
+	}
+	return jobs
+}
+
+// Job outcomes.
+const (
+	// OutcomeFound: the expected property violation was found.
+	OutcomeFound = "found-expected"
+	// OutcomeClean: no violation, none expected.
+	OutcomeClean = "clean"
+	// OutcomeMissedExpected: no violation, and this strategy column is
+	// documented to miss this scenario's bug (a Table 2 blank cell).
+	OutcomeMissedExpected = "missed-expected"
+	// OutcomeMissed: the search completed without finding the
+	// scenario's expected violation — an unexpected miss.
+	OutcomeMissed = "missed"
+	// OutcomeUnexpected: a violation was found where none (or a
+	// documented miss) was expected.
+	OutcomeUnexpected = "unexpected-violation"
+	// OutcomePartial: a budget, deadline or cancellation cut the
+	// search short before it could decide.
+	OutcomePartial = "partial"
+	// OutcomeError: the job could not run (unknown scenario, no
+	// repaired variant, unknown strategy).
+	OutcomeError = "error"
+)
+
+// CampaignResult is one job's outcome.
+type CampaignResult struct {
+	Job   CampaignJob `json:"job"`
+	Label string      `json:"label"`
+
+	// Expected names the property the job was expected to violate
+	// ("" for expected-clean searches, including all fixed jobs);
+	// ExpectedMiss marks strategy columns documented to miss it.
+	Expected     string `json:"expected,omitempty"`
+	ExpectedMiss bool   `json:"expected_miss,omitempty"`
+
+	// Outcome is one of the Outcome* constants; Err carries the
+	// detail for OutcomeError.
+	Outcome string `json:"outcome"`
+	Err     string `json:"error,omitempty"`
+
+	// Violated lists the distinct violated property names; First is
+	// the first violation's message.
+	Violated []string `json:"violated,omitempty"`
+	First    string   `json:"first_violation,omitempty"`
+
+	// Search counters, from the underlying Report.
+	Transitions  int64         `json:"transitions"`
+	UniqueStates int64         `json:"unique_states"`
+	SERuns       int64         `json:"se_runs"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	Engine       string        `json:"engine,omitempty"`
+	Complete     bool          `json:"complete"`
+	StopReason   string        `json:"stop_reason,omitempty"`
+}
+
+// ok reports whether the outcome matches expectations (partial results
+// are inconclusive, not failures).
+func (r *CampaignResult) ok() bool {
+	switch r.Outcome {
+	case OutcomeFound, OutcomeClean, OutcomeMissedExpected, OutcomePartial:
+		return true
+	}
+	return false
+}
+
+// CampaignReport merges every job's result.
+type CampaignReport struct {
+	Results []CampaignResult `json:"results"`
+
+	// Merged counters across all jobs.
+	Jobs         int           `json:"jobs"`
+	Transitions  int64         `json:"transitions"`
+	UniqueStates int64         `json:"unique_states"`
+	Violations   int           `json:"violations"`
+	Unexpected   int           `json:"unexpected"`
+	Partial      int           `json:"partial"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+}
+
+// OK reports whether every job's outcome matched its expectation
+// (inconclusive partial results count as OK; see Partial).
+func (r *CampaignReport) OK() bool { return r.Unexpected == 0 }
+
+// WriteJSON writes the merged report as indented JSON.
+func (r *CampaignReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText writes the merged report as an aligned text table plus a
+// one-line summary.
+func (r *CampaignReport) WriteText(w io.Writer) {
+	width := len("scenario")
+	for i := range r.Results {
+		if n := len(r.Results[i].Label); n > width {
+			width = n
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %-20s %12s %12s %10s  %s\n",
+		width, "scenario", "outcome", "transitions", "states", "elapsed", "detail")
+	for i := range r.Results {
+		res := &r.Results[i]
+		detail := ""
+		switch {
+		case res.Err != "":
+			detail = res.Err
+		case len(res.Violated) > 0:
+			detail = "violates " + res.Violated[0]
+			if len(res.Violated) > 1 {
+				detail += fmt.Sprintf(" (+%d more)", len(res.Violated)-1)
+			}
+		case res.Outcome == OutcomePartial:
+			detail = "stopped: " + res.StopReason
+		}
+		fmt.Fprintf(w, "%-*s  %-20s %12d %12d %10s  %s\n",
+			width, res.Label, res.Outcome, res.Transitions, res.UniqueStates,
+			res.Elapsed.Round(time.Millisecond), detail)
+	}
+	fmt.Fprintf(w, "\n%d jobs: %d violations, %d unexpected, %d partial — %d transitions, %d unique states in %s\n",
+		r.Jobs, r.Violations, r.Unexpected, r.Partial,
+		r.Transitions, r.UniqueStates, r.Elapsed.Round(time.Millisecond))
+}
+
+// cacheKey groups jobs that may share a discover-cache set.
+type cacheKey struct {
+	scenario string
+	scale    int
+	fixed    bool
+}
+
+// Run executes the campaign: every job goes through Run (the unified
+// engine entry point) with the campaign's budgets applied, at most
+// Parallelism at a time. Extra opts are appended to every job's Run
+// options (an Observer passed this way must be safe for concurrent use
+// across jobs). Results keep Jobs order regardless of scheduling.
+func (c *Campaign) Run(ctx context.Context, opts ...RunOption) *CampaignReport {
+	start := time.Now()
+	report := &CampaignReport{
+		Results: make([]CampaignResult, len(c.Jobs)),
+		Jobs:    len(c.Jobs),
+	}
+
+	var statesLeft, transLeft atomic.Int64
+	statesLeft.Store(c.TotalMaxStates)
+	transLeft.Store(c.TotalMaxTransitions)
+
+	var cachesMu sync.Mutex
+	caches := make(map[cacheKey]*Caches)
+	jobCaches := func(j CampaignJob) *Caches {
+		if !c.ShareCaches {
+			return nil
+		}
+		cachesMu.Lock()
+		defer cachesMu.Unlock()
+		k := cacheKey{scenario: j.Scenario, scale: j.Scale, fixed: j.Fixed}
+		if caches[k] == nil {
+			caches[k] = NewCaches()
+		}
+		return caches[k]
+	}
+
+	par := c.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	if par > len(c.Jobs) {
+		par = len(c.Jobs)
+	}
+	// Workers pull jobs in declaration order, so budgets drain
+	// front-to-back (and Parallelism=1 is fully deterministic).
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(c.Jobs) {
+					return
+				}
+				report.Results[i] = c.runJob(ctx, c.Jobs[i], &statesLeft, &transLeft, jobCaches, opts)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range report.Results {
+		res := &report.Results[i]
+		report.Transitions += res.Transitions
+		report.UniqueStates += res.UniqueStates
+		report.Violations += len(res.Violated)
+		if !res.ok() {
+			report.Unexpected++
+		}
+		if res.Outcome == OutcomePartial {
+			report.Partial++
+		}
+	}
+	report.Elapsed = time.Since(start)
+	return report
+}
+
+// runJob builds, budgets and runs one job, classifying the outcome. A
+// Build hook panicking on an invalid scale becomes a job error, not a
+// dead campaign.
+func (c *Campaign) runJob(ctx context.Context, job CampaignJob, statesLeft, transLeft *atomic.Int64, jobCaches func(CampaignJob) *Caches, extra []RunOption) (res CampaignResult) {
+	res = CampaignResult{Job: job, Label: job.label()}
+	fail := func(format string, args ...any) CampaignResult {
+		res.Outcome = OutcomeError
+		res.Err = fmt.Sprintf(format, args...)
+		return res
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res = fail("%v", r)
+		}
+	}()
+
+	sc, ok := scenarios.Lookup(job.Scenario)
+	if !ok {
+		return fail("unknown scenario %q", job.Scenario)
+	}
+	strat, ok := scenarios.ParseStrategy(job.Strategy)
+	if !ok {
+		return fail("unknown strategy %q", job.Strategy)
+	}
+	var cfg *Config
+	if job.Fixed {
+		if cfg = sc.FixedConfig(job.Scale); cfg == nil {
+			return fail("scenario %q has no repaired variant", sc.Name)
+		}
+	} else {
+		cfg = sc.Config(job.Scale)
+		res.Expected = sc.ExpectedProperty
+		res.ExpectedMiss = sc.Misses[strat]
+	}
+	cfg = sc.Apply(cfg, strat)
+
+	// Normalize the scale before cache grouping, so Scale:0 and an
+	// explicit Scale:DefaultScale of one workload share caches — and
+	// scale-less scenarios (whose Build ignores Scale entirely) group
+	// regardless of the requested value.
+	cacheJob := job
+	switch {
+	case sc.ScaleName == "":
+		cacheJob.Scale = 0
+	case cacheJob.Scale <= 0:
+		cacheJob.Scale = sc.DefaultScale
+	}
+	cc := jobCaches(cacheJob)
+
+	opts := []RunOption{WithWorkers(c.Workers)}
+	if c.JobTimeout > 0 {
+		opts = append(opts, WithDeadline(c.JobTimeout))
+	}
+	maxStates := c.JobMaxStates
+	if c.TotalMaxStates > 0 {
+		left := statesLeft.Load()
+		if left <= 0 {
+			left = 1 // budget exhausted: stop almost immediately, keep the partial marker honest
+		}
+		if maxStates == 0 || left < maxStates {
+			maxStates = left
+		}
+	}
+	if maxStates > 0 {
+		opts = append(opts, WithMaxStates(maxStates))
+	}
+	if c.TotalMaxTransitions > 0 {
+		left := transLeft.Load()
+		if left <= 0 {
+			left = 1
+		}
+		opts = append(opts, WithMaxTransitions(left))
+	}
+	if cc != nil {
+		opts = append(opts, WithCaches(cc))
+	}
+	opts = append(opts, extra...)
+
+	r := Run(ctx, cfg, opts...)
+	statesLeft.Add(-r.UniqueStates)
+	transLeft.Add(-r.Transitions)
+
+	res.Transitions = r.Transitions
+	res.UniqueStates = r.UniqueStates
+	res.SERuns = r.SERuns
+	res.Elapsed = r.Elapsed
+	res.Engine = r.Strategy
+	res.Complete = r.Complete
+	res.StopReason = string(r.StopReason)
+
+	seen := map[string]bool{}
+	for i := range r.Violations {
+		p := r.Violations[i].Property
+		if !seen[p] {
+			seen[p] = true
+			res.Violated = append(res.Violated, p)
+		}
+	}
+	sort.Strings(res.Violated)
+	if v := r.FirstViolation(); v != nil {
+		res.First = fmt.Sprintf("%s: %v", v.Property, v.Err)
+	}
+
+	res.Outcome = classify(&res)
+	return res
+}
+
+// classify derives the job outcome from expectations and the report.
+func classify(res *CampaignResult) string {
+	found := len(res.Violated) > 0
+	expectedFound := false
+	for _, p := range res.Violated {
+		if p == res.Expected {
+			expectedFound = true
+		}
+	}
+	switch {
+	case found && expectedFound && !res.ExpectedMiss && len(res.Violated) == 1:
+		return OutcomeFound
+	case found:
+		// A violation where none was expected — a fixed app failing, a
+		// documented-miss column finding the bug anyway, or a property
+		// other than (or beside) the expected one tripping.
+		return OutcomeUnexpected
+	case !res.Complete:
+		return OutcomePartial
+	case res.Expected == "":
+		return OutcomeClean
+	case res.ExpectedMiss:
+		return OutcomeMissedExpected
+	default:
+		return OutcomeMissed
+	}
+}

@@ -1,0 +1,176 @@
+package nice_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/nice-go/nice"
+)
+
+// TestCampaignOutcomes: a mixed campaign classifies every job against
+// the registry's expectations — found bugs, documented strategy
+// misses, clean repaired apps, and job errors — and merges the counts.
+func TestCampaignOutcomes(t *testing.T) {
+	c := &nice.Campaign{
+		Jobs: []nice.CampaignJob{
+			{Scenario: "bug-ii"},                          // found-expected
+			{Scenario: "bug-v", Strategy: "no-delay"},     // documented Table 2 miss
+			{Scenario: "bug-ii", Fixed: true},             // repaired app, clean
+			{Scenario: "no-such-scenario"},                // error
+			{Scenario: "bug-ii", Strategy: "no-such-one"}, // error
+		},
+		Parallelism: 3,
+		ShareCaches: true,
+	}
+	r := c.Run(context.Background())
+
+	want := []string{
+		nice.OutcomeFound,
+		nice.OutcomeMissedExpected,
+		nice.OutcomeClean,
+		nice.OutcomeError,
+		nice.OutcomeError,
+	}
+	if len(r.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(r.Results), len(want))
+	}
+	for i, res := range r.Results {
+		if res.Outcome != want[i] {
+			t.Errorf("job %d (%s): outcome %q, want %q (err=%q)",
+				i, res.Label, res.Outcome, want[i], res.Err)
+		}
+	}
+	if r.OK() {
+		t.Error("OK() with job errors")
+	}
+	if r.Unexpected != 2 {
+		t.Errorf("Unexpected = %d, want 2 (the two error jobs)", r.Unexpected)
+	}
+	if r.Jobs != 5 || r.Violations != 1 {
+		t.Errorf("Jobs/Violations = %d/%d, want 5/1", r.Jobs, r.Violations)
+	}
+
+	var sumT, sumS int64
+	for _, res := range r.Results {
+		sumT += res.Transitions
+		sumS += res.UniqueStates
+	}
+	if r.Transitions != sumT || r.UniqueStates != sumS {
+		t.Errorf("merged counters %d/%d != sums %d/%d", r.Transitions, r.UniqueStates, sumT, sumS)
+	}
+
+	if got := r.Results[0].Label; got != "bug-ii/PKT-SEQ" {
+		t.Errorf("label = %q", got)
+	}
+	if got := r.Results[2].Label; got != "bug-ii/PKT-SEQ/fixed" {
+		t.Errorf("fixed label = %q", got)
+	}
+	if res := r.Results[0]; res.Expected != "StrictDirectPaths" || res.First == "" {
+		t.Errorf("found job: expected=%q first=%q", res.Expected, res.First)
+	}
+	if res := r.Results[2]; res.Expected != "" {
+		t.Errorf("fixed job carries expectation %q", res.Expected)
+	}
+}
+
+// TestCampaignSharedStateBudget: the campaign-wide unique-state budget
+// drains across jobs — later jobs start with what remains and report
+// partial, inconclusive results instead of running unbounded.
+func TestCampaignSharedStateBudget(t *testing.T) {
+	c := &nice.Campaign{
+		Jobs: []nice.CampaignJob{
+			{Scenario: "pingpong", Scale: 2},
+			{Scenario: "pingpong", Scale: 2, Strategy: "no-delay"},
+			{Scenario: "pingpong", Scale: 2, Strategy: "unusual"},
+		},
+		Parallelism:    1, // serialize so the drawdown order is deterministic
+		Workers:        1, // sequential engine stops exactly at the budget; parallel may overshoot
+		TotalMaxStates: 50,
+	}
+	r := c.Run(context.Background())
+
+	if r.Partial != 3 {
+		t.Fatalf("Partial = %d, want 3 budget-cut jobs\n%+v", r.Partial, r.Results)
+	}
+	if !r.OK() {
+		t.Error("budget-cut campaign should still be OK (inconclusive, not wrong)")
+	}
+	if r.Results[0].UniqueStates != 50 {
+		t.Errorf("first job explored %d states, want exactly the 50 budget", r.Results[0].UniqueStates)
+	}
+	// Everything after the first job runs on fumes (budget floor of 1).
+	for _, res := range r.Results[1:] {
+		if res.UniqueStates > 2 {
+			t.Errorf("%s explored %d states after budget exhaustion", res.Label, res.UniqueStates)
+		}
+		if res.Outcome != nice.OutcomePartial {
+			t.Errorf("%s outcome %q, want partial", res.Label, res.Outcome)
+		}
+	}
+}
+
+// TestCampaignJSONAndText: the merged report round-trips through JSON
+// and the text rendering carries the summary line.
+func TestCampaignJSONAndText(t *testing.T) {
+	c := &nice.Campaign{
+		Jobs: []nice.CampaignJob{{Scenario: "bug-iii"}},
+	}
+	r := c.Run(context.Background())
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back nice.CampaignReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back.Results) != 1 || back.Results[0].Outcome != nice.OutcomeFound ||
+		back.Results[0].Violated[0] != "NoForwardingLoops" {
+		t.Errorf("round-tripped report lost data: %+v", back.Results)
+	}
+
+	var txt bytes.Buffer
+	r.WriteText(&txt)
+	for _, want := range []string{"bug-iii/PKT-SEQ", "found-expected", "1 jobs: 1 violations"} {
+		if !bytes.Contains(txt.Bytes(), []byte(want)) {
+			t.Errorf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+}
+
+// TestCampaignJobsCrossProduct: the helper expands scenario × strategy.
+func TestCampaignJobsCrossProduct(t *testing.T) {
+	jobs := nice.CampaignJobs([]string{"a", "b"}, []string{"pkt-seq", "no-delay"}, 3, true)
+	if len(jobs) != 4 {
+		t.Fatalf("%d jobs, want 4", len(jobs))
+	}
+	if jobs[3].Scenario != "b" || jobs[3].Strategy != "no-delay" || jobs[3].Scale != 3 || !jobs[3].Fixed {
+		t.Errorf("jobs[3] = %+v", jobs[3])
+	}
+	if jobs := nice.CampaignJobs([]string{"a"}, nil, 0, false); len(jobs) != 1 || jobs[0].Strategy != "" {
+		t.Errorf("empty strategy set: %+v", jobs)
+	}
+}
+
+// TestCampaignCancellation: cancelling the campaign context stops every
+// job with a partial result instead of hanging.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &nice.Campaign{
+		Jobs:        []nice.CampaignJob{{Scenario: "pingpong", Scale: 3}, {Scenario: "pingpong", Scale: 3, Strategy: "unusual"}},
+		Parallelism: 2,
+	}
+	r := c.Run(ctx)
+	for _, res := range r.Results {
+		if res.Complete {
+			t.Errorf("%s completed under a cancelled context", res.Label)
+		}
+	}
+	if r.Partial != 2 {
+		t.Errorf("Partial = %d, want 2", r.Partial)
+	}
+}

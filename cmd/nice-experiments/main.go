@@ -22,8 +22,7 @@ import (
 	"time"
 
 	"github.com/nice-go/nice"
-	"github.com/nice-go/nice/internal/core"
-	"github.com/nice-go/nice/internal/scenarios"
+	"github.com/nice-go/nice/scenarios"
 )
 
 // workers selects the engine for every search the harness runs:
@@ -34,7 +33,7 @@ var workers = flag.Int("workers", 1, "parallel search workers (0 = all CPUs, 1 =
 // runSearch executes one search through the unified nice.Run entry
 // point (workers==1 delegates to the sequential checker inside the
 // parallel engine).
-func runSearch(cfg *core.Config) *core.Report {
+func runSearch(cfg *nice.Config) *nice.Report {
 	return nice.Run(context.Background(), cfg, nice.WithWorkers(*workers))
 }
 

@@ -1,6 +1,6 @@
 // Command nice runs the NICE checker on the registered scenarios: the
 // paper's layer-2 ping workload, the eleven bug scenarios of §8, and
-// the scaled bench workloads (see internal/scenarios' registry).
+// the scaled bench workloads (see the scenarios registry).
 //
 // Usage:
 //
@@ -29,6 +29,20 @@
 // 2 = usage error; 3 = budget, deadline or cancellation cut the search
 // short with no violation (the printed counts are a partial but
 // replayable result).
+//
+// The run-all subcommand fans a whole scenario × strategy campaign
+// through the same engine concurrently, with shared budgets and a
+// merged report (nice.Campaign):
+//
+//	nice run-all                          # every scenario, PKT-SEQ
+//	nice run-all -scenarios table2 -strategies all -jobs 4
+//	nice run-all -scenarios bug-ii,bug-iii -fixed
+//	nice run-all -total-states 200000 -job-timeout 30s -json report.json
+//
+// run-all exit codes: 0 = every outcome as expected; 1 = an unexpected
+// outcome (missed bug, unexpected violation, job error); 2 = usage
+// error; 3 = expectations met so far but some searches were cut short
+// by budgets (inconclusive).
 package main
 
 import (
@@ -40,15 +54,153 @@ import (
 	"strings"
 
 	"github.com/nice-go/nice"
-	"github.com/nice-go/nice/internal/scenarios"
+	"github.com/nice-go/nice/scenarios"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "run-all" {
+		runAll(os.Args[2:])
+		return
+	}
+	runOne()
+}
+
+// runAll is the campaign front end: scenario set × strategy set through
+// nice.Campaign with shared budgets and a merged report.
+func runAll(args []string) {
+	fs := flag.NewFlagSet("nice run-all", flag.ExitOnError)
+	var (
+		scenarioSet = fs.String("scenarios", "all", `comma-separated scenario names, or "all" / "table2"`)
+		strategySet = fs.String("strategies", "pkt-seq", `comma-separated strategy columns, or "all"`)
+		scale       = fs.Int("scale", 0, "scale for every scenario (0 = each scenario's default)")
+		fixed       = fs.Bool("fixed", false, "check the repaired applications instead")
+		jobs        = fs.Int("jobs", 2, "concurrently running jobs")
+		workers     = fs.Int("workers", 1, "per-job search workers (0 = all CPUs, 1 = sequential checker)")
+		jobTimeout  = fs.Duration("job-timeout", 0, "wall-clock budget per job")
+		jobStates   = fs.Int64("job-max-states", 0, "unique-state budget per job")
+		totalStates = fs.Int64("total-states", 0, "shared unique-state budget across all jobs")
+		totalTrans  = fs.Int64("total-transitions", 0, "shared transition budget across all jobs")
+		shareCaches = fs.Bool("share-caches", true, "share discover caches between strategy columns of one workload")
+		jsonPath    = fs.String("json", "", `write the merged report as JSON to this file ("-" = stdout)`)
+	)
+	fs.Parse(args)
+
+	names, err := resolveScenarioSet(*scenarioSet, *fixed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nice run-all:", err)
+		os.Exit(2)
+	}
+	strategies, err := resolveStrategySet(*strategySet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nice run-all:", err)
+		os.Exit(2)
+	}
+
+	campaign := &nice.Campaign{
+		Jobs:                nice.CampaignJobs(names, strategies, *scale, *fixed),
+		Parallelism:         *jobs,
+		Workers:             *workers,
+		JobTimeout:          *jobTimeout,
+		JobMaxStates:        *jobStates,
+		TotalMaxStates:      *totalStates,
+		TotalMaxTransitions: *totalTrans,
+		ShareCaches:         *shareCaches,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	report := campaign.Run(ctx)
+
+	if *jsonPath != "" {
+		if err := writeJSONReport(report, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "nice run-all:", err)
+			os.Exit(2)
+		}
+	}
+	if *jsonPath != "-" {
+		report.WriteText(os.Stdout)
+	}
+	switch {
+	case !report.OK():
+		os.Exit(1)
+	case report.Partial > 0:
+		os.Exit(3)
+	}
+}
+
+// resolveScenarioSet expands the -scenarios argument into registry
+// names. With -fixed, "all" keeps only scenarios that have a repaired
+// variant.
+func resolveScenarioSet(set string, fixed bool) ([]string, error) {
+	switch strings.ToLower(set) {
+	case "all":
+		var names []string
+		for _, sc := range scenarios.All() {
+			if fixed && sc.BuildFixed == nil {
+				continue
+			}
+			names = append(names, sc.Name)
+		}
+		return names, nil
+	case "table2":
+		var names []string
+		for _, sc := range scenarios.Table2() {
+			names = append(names, sc.Name)
+		}
+		return names, nil
+	}
+	names := strings.Split(set, ",")
+	for _, n := range names {
+		if _, ok := scenarios.Lookup(n); !ok {
+			return nil, fmt.Errorf("unknown scenario %q (try -list)", n)
+		}
+	}
+	return names, nil
+}
+
+// resolveStrategySet expands the -strategies argument into column
+// names validated against scenarios.ParseStrategy.
+func resolveStrategySet(set string) ([]string, error) {
+	if strings.EqualFold(set, "all") {
+		names := make([]string, len(scenarios.Strategies))
+		for i, s := range scenarios.Strategies {
+			names[i] = strings.ToLower(s.String())
+		}
+		return names, nil
+	}
+	names := strings.Split(set, ",")
+	for _, n := range names {
+		if _, ok := scenarios.ParseStrategy(n); !ok {
+			return nil, fmt.Errorf("unknown strategy %q", n)
+		}
+	}
+	return names, nil
+}
+
+// writeJSONReport writes the merged campaign report to a file or stdout.
+func writeJSONReport(report *nice.CampaignReport, path string) error {
+	if path == "-" {
+		return report.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runOne() {
 	var (
 		scenario  = flag.String("scenario", "", "scenario to check (see -list)")
 		strategy  = flag.String("strategy", "pkt-seq", "search strategy: pkt-seq, no-delay, flow-ir, unusual")
 		pings     = flag.Int("pings", 0, "scale for the ping scenarios (0 = scenario default)")
 		sends     = flag.Int("sends", 0, "scale for the bench scenarios (0 = scenario default)")
+		scale     = flag.Int("scale", 0, "scale for any scenario's knob (see -list; 0 = scenario default)")
 		mode      = flag.String("mode", "check", "check (full search) or walk (random walks)")
 		seed      = flag.Int64("seed", 1, "random-walk seed")
 		walks     = flag.Int("walks", 50, "number of random walks")
@@ -77,7 +229,7 @@ func main() {
 		return
 	}
 
-	cfg, name, err := buildConfig(*scenario, *pings, *sends, *fixed, *strategy)
+	cfg, name, err := buildConfig(*scenario, *pings, *sends, *scale, *fixed, *strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nice:", err)
 		os.Exit(2)
@@ -153,7 +305,16 @@ func main() {
 
 // buildConfig resolves the scenario in the registry, scales it, picks
 // the buggy or repaired application, and applies the strategy column.
-func buildConfig(name string, pings, sends int, fixed bool, strategy string) (*nice.Config, string, error) {
+// The historical -pings/-sends spellings and the generic -scale flag
+// all feed the scenario's one scale knob. Build hooks fail loudly on
+// invalid scales (e.g. an odd fat-tree arity); that panic surfaces
+// here as a usage error, not a crash.
+func buildConfig(name string, pings, sends, generic int, fixed bool, strategy string) (cfg *nice.Config, label string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cfg, label, err = nil, "", fmt.Errorf("scenario %q: %v", name, r)
+		}
+	}()
 	if name == "" {
 		return nil, "", fmt.Errorf("missing -scenario (try -list)")
 	}
@@ -161,19 +322,28 @@ func buildConfig(name string, pings, sends int, fixed bool, strategy string) (*n
 	if !ok {
 		return nil, "", fmt.Errorf("unknown scenario %q (try -list)", name)
 	}
-	scale := 0
+	scale := generic
 	switch sc.ScaleName {
+	case "":
+		// No knob: reject an explicit -scale rather than run the
+		// fixed-size scenario under a label claiming otherwise.
+		if generic > 0 {
+			return nil, "", fmt.Errorf("scenario %q has no scale knob", sc.Name)
+		}
 	case "pings":
-		scale = pings
+		if pings > 0 {
+			scale = pings
+		}
 	case "sends":
-		scale = sends
+		if sends > 0 {
+			scale = sends
+		}
 	}
-	label := sc.Name
+	label = sc.Name
 	if scale > 0 {
 		label = fmt.Sprintf("%s(%d)", sc.Name, scale)
 	}
 
-	var cfg *nice.Config
 	if fixed {
 		cfg = sc.FixedConfig(scale)
 		if cfg == nil {
@@ -184,24 +354,17 @@ func buildConfig(name string, pings, sends int, fixed bool, strategy string) (*n
 		cfg = sc.Config(scale)
 	}
 
-	strat, err := parseStrategy(strategy)
-	if err != nil {
-		return nil, "", err
+	strat, serr := parseStrategy(strategy)
+	if serr != nil {
+		return nil, "", serr
 	}
 	return sc.Apply(cfg, strat), label, nil
 }
 
 func parseStrategy(strategy string) (scenarios.Strategy, error) {
-	switch strings.ToLower(strategy) {
-	case "pkt-seq", "":
-		return scenarios.PktSeqOnly, nil
-	case "no-delay":
-		return scenarios.NoDelay, nil
-	case "flow-ir":
-		return scenarios.FlowIR, nil
-	case "unusual":
-		return scenarios.Unusual, nil
-	default:
+	s, ok := scenarios.ParseStrategy(strategy)
+	if !ok {
 		return 0, fmt.Errorf("unknown strategy %q", strategy)
 	}
+	return s, nil
 }

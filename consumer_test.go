@@ -1,0 +1,57 @@
+// Guards on the public SDK surface: the testdata/consumer module must
+// compile as a genuinely external importer (its own go.mod, a replace
+// directive to this checkout, zero internal/ import paths), and the
+// in-repo consumers meant as public-API exemplars (examples/, the
+// consumer module) must not quietly reach back into internal/.
+package nice_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestConsumerModuleBuilds builds testdata/consumer against the
+// checkout — the compile-time proof that no part of the modelling SDK
+// an external application author needs is stuck behind internal/.
+func TestConsumerModuleBuilds(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	cmd := exec.Command(goBin, "build", "-o", os.DevNull, ".")
+	cmd.Dir = filepath.Join("testdata", "consumer")
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("external consumer does not build with public imports only:\n%s\nerror: %v", out, err)
+	}
+}
+
+// TestPublicExemplarsUseOnlyPublicImports greps examples/ and
+// testdata/consumer for internal/ import paths (the same check CI runs;
+// here so the guard also bites locally).
+func TestPublicExemplarsUseOnlyPublicImports(t *testing.T) {
+	for _, root := range []string{"examples", filepath.Join("testdata", "consumer")} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				if strings.Contains(line, `"github.com/nice-go/nice/internal/`) {
+					t.Errorf("%s:%d: internal import in a public-API exemplar: %s",
+						path, i+1, strings.TrimSpace(line))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

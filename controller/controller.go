@@ -1,0 +1,535 @@
+// Package controller implements the NOX-like controller runtime of the
+// modelled system (§2.2.1): applications are sets of event handlers that
+// execute atomically, interact with switches through a standard actuator
+// API, and keep arbitrary state. The same handler code runs concretely
+// during model-checking transitions and concolically inside
+// discover_packets / discover_stats.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/nice-go/nice/internal/canon"
+	"github.com/nice-go/nice/internal/sym"
+	"github.com/nice-go/nice/openflow"
+)
+
+// App is an OpenFlow controller application under test. Handlers execute
+// atomically: the model checker invokes one handler per controller
+// transition. Implementations embed BaseApp for the handlers they do not
+// care about.
+//
+// Two extra obligations make the app checkable:
+//
+//   - Clone must deep-copy all mutable state (the checker forks system
+//     states, and discover_packets runs handlers on throwaway clones);
+//   - StateKey must render the app state canonically (internal/canon's
+//     String helper does this for free), because state matching and the
+//     relevant-packet cache are keyed by the stringified controller
+//     state, exactly as in Figure 5 of the paper.
+type App interface {
+	Name() string
+
+	// SwitchJoin handles a switch joining the network.
+	SwitchJoin(ctx *Context, sw openflow.SwitchID)
+	// SwitchLeave handles a switch leaving the network.
+	SwitchLeave(ctx *Context, sw openflow.SwitchID)
+	// PacketIn handles a packet sent to the controller. pkt carries
+	// concolic header fields; buf identifies the switch buffer holding
+	// the packet (BufferNone during symbolic execution).
+	PacketIn(ctx *Context, sw openflow.SwitchID, pkt *sym.Packet, buf openflow.BufferID, reason openflow.PacketInReason)
+	// StatsReply handles a port-statistics reply; stats values are
+	// concolic.
+	StatsReply(ctx *Context, sw openflow.SwitchID, stats *sym.Stats)
+	// BarrierReply handles a barrier acknowledgment.
+	BarrierReply(ctx *Context, sw openflow.SwitchID, xid int)
+	// PortStatus handles a port going up or down.
+	PortStatus(ctx *Context, sw openflow.SwitchID, port openflow.PortID, up bool)
+
+	Clone() App
+	StateKey() string
+}
+
+// Versioned is the AppKey dirty hook: applications that bump a version
+// counter at every state mutation implement it (embed VersionCounter),
+// and the runtime then caches the rendered StateKey until the version
+// moves. Applications without it get conservative invalidation — the
+// cache is dropped on every dispatched handler, mutating or not.
+type Versioned interface {
+	// StateVersion returns a counter that changes (strictly increases)
+	// whenever the application's hashable state mutates.
+	StateVersion() uint64
+}
+
+// VersionCounter is the embeddable implementation of Versioned. (The
+// field must not be named like the method, or embedding would shadow
+// the promoted StateVersion method — TestAppsImplementVersioned guards
+// this.) Handlers call BumpStateVersion at every mutation site;
+// value-copying clones (c := *a) carry the counter over, which is
+// correct because the clone starts in an identical state.
+type VersionCounter struct{ version uint64 }
+
+// BumpStateVersion marks one state mutation.
+func (s *VersionCounter) BumpStateVersion() { s.version++ }
+
+// StateVersion implements Versioned.
+func (s *VersionCounter) StateVersion() uint64 { return s.version }
+
+// EnvApp is implemented by applications with environment transitions —
+// out-of-band reconfiguration commands such as the load balancer's
+// policy change (§8.2). The checker exposes one transition per enabled
+// event name.
+type EnvApp interface {
+	App
+	// EnvEvents lists the currently enabled environment events.
+	EnvEvents() []string
+	// EnvApply executes one.
+	EnvApply(ctx *Context, event string)
+}
+
+// BaseApp provides no-op handler implementations.
+type BaseApp struct{}
+
+// SwitchJoin implements App.
+func (BaseApp) SwitchJoin(*Context, openflow.SwitchID) {}
+
+// SwitchLeave implements App.
+func (BaseApp) SwitchLeave(*Context, openflow.SwitchID) {}
+
+// PacketIn implements App.
+func (BaseApp) PacketIn(*Context, openflow.SwitchID, *sym.Packet, openflow.BufferID, openflow.PacketInReason) {
+}
+
+// StatsReply implements App.
+func (BaseApp) StatsReply(*Context, openflow.SwitchID, *sym.Stats) {}
+
+// BarrierReply implements App.
+func (BaseApp) BarrierReply(*Context, openflow.SwitchID, int) {}
+
+// PortStatus implements App.
+func (BaseApp) PortStatus(*Context, openflow.SwitchID, openflow.PortID, bool) {}
+
+// Context is the per-invocation handler context: the branch-recording
+// trace plus the actuator. Handlers route packet-dependent conditions
+// through If and emit switch commands through the actuator methods; the
+// runtime collects the emitted messages and the model checker delivers
+// them (asynchronously, unless NO-DELAY collapses the exchange).
+type Context struct {
+	tr   *sym.Trace
+	msgs []openflow.Msg
+	// symbolic marks discover_packets / discover_stats executions:
+	// actuator effects are recorded but will be discarded by the
+	// caller together with the cloned app.
+	symbolic bool
+	nextXid  func() int
+}
+
+// NewContext builds a concrete-execution context. nextXid allocates
+// barrier correlation IDs (the runtime supplies it; tests may pass nil
+// to get a local counter).
+func NewContext(nextXid func() int) *Context {
+	return newContext(nil, false, nextXid)
+}
+
+// NewSymContext builds a concolic-execution context recording into tr.
+func NewSymContext(tr *sym.Trace) *Context {
+	return newContext(tr, true, nil)
+}
+
+func newContext(tr *sym.Trace, symbolic bool, nextXid func() int) *Context {
+	ctx := &Context{tr: tr, symbolic: symbolic, nextXid: nextXid}
+	if ctx.nextXid == nil {
+		n := 0
+		ctx.nextXid = func() int { n++; return n }
+	}
+	return ctx
+}
+
+// If evaluates a concolic condition, recording the branch when executing
+// symbolically. This is the one instrumentation point applications use
+// in place of bare if statements over packet or stats data.
+func (c *Context) If(b sym.Bool) bool { return c.tr.If(b) }
+
+// Trace exposes the recording trace (for the sym.Lookup* map stubs).
+func (c *Context) Trace() *sym.Trace { return c.tr }
+
+// Symbolic reports whether this execution is a discover transition.
+func (c *Context) Symbolic() bool { return c.symbolic }
+
+// InstallRule sends a flow_mod add to a switch — the install_rule call of
+// the paper's Figure 3.
+func (c *Context) InstallRule(sw openflow.SwitchID, r openflow.Rule) {
+	c.emit(openflow.Msg{Type: openflow.MsgFlowMod, Switch: sw, Cmd: openflow.FlowAdd, Rule: r})
+}
+
+// DeleteRule sends a loose flow_mod delete matching pattern.
+func (c *Context) DeleteRule(sw openflow.SwitchID, pattern openflow.Match) {
+	c.emit(openflow.Msg{Type: openflow.MsgFlowMod, Switch: sw, Cmd: openflow.FlowDelete,
+		Rule: openflow.Rule{Match: pattern}})
+}
+
+// DeleteRuleStrict sends a strict flow_mod delete.
+func (c *Context) DeleteRuleStrict(sw openflow.SwitchID, pattern openflow.Match, priority int) {
+	c.emit(openflow.Msg{Type: openflow.MsgFlowMod, Switch: sw, Cmd: openflow.FlowDeleteStrict,
+		Rule: openflow.Rule{Match: pattern, Priority: priority}})
+}
+
+// PacketOut releases a buffered packet with the given actions — the
+// send_packet_out call of Figure 3.
+func (c *Context) PacketOut(sw openflow.SwitchID, buf openflow.BufferID, actions ...openflow.Action) {
+	c.emit(openflow.Msg{Type: openflow.MsgPacketOut, Switch: sw, Buffer: buf, Actions: actions})
+}
+
+// PacketOutData injects a controller-crafted packet (e.g. a proxied ARP
+// reply) on a switch.
+func (c *Context) PacketOutData(sw openflow.SwitchID, h openflow.Header, inPort openflow.PortID, actions ...openflow.Action) {
+	c.emit(openflow.Msg{Type: openflow.MsgPacketOut, Switch: sw, Buffer: openflow.BufferNone,
+		Packet: openflow.Packet{Header: h}, InPort: inPort, Actions: actions})
+}
+
+// FloodPacket releases a buffered packet with the flood action — the
+// flood_packet call of Figure 3.
+func (c *Context) FloodPacket(sw openflow.SwitchID, buf openflow.BufferID) {
+	c.PacketOut(sw, buf, openflow.Flood())
+}
+
+// RequestStats queries a switch for port statistics (PortNone = all).
+func (c *Context) RequestStats(sw openflow.SwitchID, port openflow.PortID) {
+	c.emit(openflow.Msg{Type: openflow.MsgStatsRequest, Switch: sw, StatsPort: port})
+}
+
+// Barrier sends a barrier_request and returns its correlation ID.
+func (c *Context) Barrier(sw openflow.SwitchID) int {
+	xid := c.nextXid()
+	c.emit(openflow.Msg{Type: openflow.MsgBarrierRequest, Switch: sw, Xid: xid})
+	return xid
+}
+
+func (c *Context) emit(m openflow.Msg) { c.msgs = append(c.msgs, m) }
+
+// Messages returns the messages the handler emitted, in order.
+func (c *Context) Messages() []openflow.Msg { return c.msgs }
+
+// Runtime is the controller component of the modelled system: the
+// application plus the per-switch message channels. The channel to each
+// switch is reliable and in-order (§2.2.2: "The channel with the
+// controller offers reliable, in-order delivery of OpenFlow messages").
+type Runtime struct {
+	App App
+
+	// inQ holds switch→controller messages per switch.
+	inQ map[openflow.SwitchID][]openflow.Msg
+	// outQ holds controller→switch messages per switch.
+	outQ map[openflow.SwitchID][]openflow.Msg
+
+	// seq stamps controller→switch messages with a global issue order
+	// (consumed by the UNUSUAL strategy). xid numbers barriers. Both
+	// are scheduler metadata, deliberately excluded from state hashes.
+	seq int
+	xid int
+
+	// Incremental-fingerprinting caches: the rendered application key
+	// (with its 64-bit hash and, for Versioned apps, the version it was
+	// rendered at) and the two channel renderings. Each is valid until
+	// the corresponding state mutates; Clone copies all three.
+	appKey      string
+	appKeyHash  uint64
+	appKeyValid bool
+	appVersion  uint64
+	inKey       string
+	inKeyValid  bool
+	outKey      string
+	outKeyValid bool
+}
+
+// NewRuntime wraps an application.
+func NewRuntime(app App) *Runtime {
+	return &Runtime{
+		App:  app,
+		inQ:  make(map[openflow.SwitchID][]openflow.Msg),
+		outQ: make(map[openflow.SwitchID][]openflow.Msg),
+	}
+}
+
+// Clone deep-copies the runtime (including the app).
+func (r *Runtime) Clone() *Runtime {
+	c := &Runtime{
+		App:  r.App.Clone(),
+		inQ:  make(map[openflow.SwitchID][]openflow.Msg, len(r.inQ)),
+		outQ: make(map[openflow.SwitchID][]openflow.Msg, len(r.outQ)),
+		seq:  r.seq,
+		xid:  r.xid,
+
+		appKey:      r.appKey,
+		appKeyHash:  r.appKeyHash,
+		appKeyValid: r.appKeyValid,
+		appVersion:  r.appVersion,
+		inKey:       r.inKey,
+		inKeyValid:  r.inKeyValid,
+		outKey:      r.outKey,
+		outKeyValid: r.outKeyValid,
+	}
+	for sw, q := range r.inQ {
+		c.inQ[sw] = cloneMsgs(q)
+	}
+	for sw, q := range r.outQ {
+		c.outQ[sw] = cloneMsgs(q)
+	}
+	return c
+}
+
+func cloneMsgs(q []openflow.Msg) []openflow.Msg {
+	out := make([]openflow.Msg, len(q))
+	for i, m := range q {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// DeliverToController enqueues a switch→controller message.
+func (r *Runtime) DeliverToController(m openflow.Msg) {
+	r.inKeyValid = false
+	r.inQ[m.Switch] = append(r.inQ[m.Switch], m)
+}
+
+// PendingIn returns the switches with queued inbound messages, sorted.
+func (r *Runtime) PendingIn() []openflow.SwitchID { return sortedKeys(r.inQ) }
+
+// PendingOut returns the switches with queued outbound messages, sorted.
+func (r *Runtime) PendingOut() []openflow.SwitchID { return sortedKeys(r.outQ) }
+
+func sortedKeys(m map[openflow.SwitchID][]openflow.Msg) []openflow.SwitchID {
+	var out []openflow.SwitchID
+	for sw, q := range m {
+		if len(q) > 0 {
+			out = append(out, sw)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HeadIn returns the next inbound message from a switch without
+// consuming it.
+func (r *Runtime) HeadIn(sw openflow.SwitchID) (openflow.Msg, bool) {
+	q := r.inQ[sw]
+	if len(q) == 0 {
+		return openflow.Msg{}, false
+	}
+	return q[0], true
+}
+
+// PopIn consumes the next inbound message from a switch.
+func (r *Runtime) PopIn(sw openflow.SwitchID) (openflow.Msg, bool) {
+	q := r.inQ[sw]
+	if len(q) == 0 {
+		return openflow.Msg{}, false
+	}
+	r.inKeyValid = false
+	m := q[0]
+	if len(q) == 1 {
+		delete(r.inQ, sw)
+	} else {
+		r.inQ[sw] = append([]openflow.Msg(nil), q[1:]...)
+	}
+	return m, true
+}
+
+// HeadOut returns the next outbound message for a switch without
+// consuming it.
+func (r *Runtime) HeadOut(sw openflow.SwitchID) (openflow.Msg, bool) {
+	q := r.outQ[sw]
+	if len(q) == 0 {
+		return openflow.Msg{}, false
+	}
+	return q[0], true
+}
+
+// PopOut consumes the next outbound message for a switch.
+func (r *Runtime) PopOut(sw openflow.SwitchID) (openflow.Msg, bool) {
+	q := r.outQ[sw]
+	if len(q) == 0 {
+		return openflow.Msg{}, false
+	}
+	r.outKeyValid = false
+	m := q[0]
+	if len(q) == 1 {
+		delete(r.outQ, sw)
+	} else {
+		r.outQ[sw] = append([]openflow.Msg(nil), q[1:]...)
+	}
+	return m, true
+}
+
+// Emit stamps and enqueues handler-emitted messages onto the outbound
+// channels.
+func (r *Runtime) Emit(msgs []openflow.Msg) {
+	if len(msgs) > 0 {
+		r.outKeyValid = false
+	}
+	for _, m := range msgs {
+		r.seq++
+		m.Seq = r.seq
+		r.outQ[m.Switch] = append(r.outQ[m.Switch], m)
+	}
+}
+
+// NewContext builds a concrete handler context wired to the runtime's
+// xid allocator.
+func (r *Runtime) NewContext() *Context {
+	return NewContext(func() int { r.xid++; return r.xid })
+}
+
+// appDirty marks a handler run: for apps without the Versioned dirty
+// hook the cached key is dropped unconditionally; Versioned apps keep
+// their cache until their version counter moves.
+func (r *Runtime) appDirty() {
+	if _, ok := r.App.(Versioned); !ok {
+		r.appKeyValid = false
+	}
+}
+
+// Dispatch executes the handler for one inbound message on the app,
+// returning the emitted messages (already enqueued via Emit).
+func (r *Runtime) Dispatch(m openflow.Msg) []openflow.Msg {
+	r.appDirty()
+	ctx := r.NewContext()
+	switch m.Type {
+	case openflow.MsgPacketIn:
+		pkt := sym.ConcretePacket(m.Packet.Header, m.InPort)
+		r.App.PacketIn(ctx, m.Switch, pkt, m.Buffer, m.Reason)
+	case openflow.MsgSwitchJoin:
+		r.App.SwitchJoin(ctx, m.Switch)
+	case openflow.MsgSwitchLeave:
+		r.App.SwitchLeave(ctx, m.Switch)
+	case openflow.MsgStatsReply:
+		r.App.StatsReply(ctx, m.Switch, sym.ConcreteStats(m.Stats))
+	case openflow.MsgBarrierReply:
+		r.App.BarrierReply(ctx, m.Switch, m.Xid)
+	case openflow.MsgPortStatus:
+		r.App.PortStatus(ctx, m.Switch, m.InPort, m.PortUp)
+	default:
+		panic(fmt.Sprintf("controller: cannot dispatch %v", m.Type))
+	}
+	r.Emit(ctx.Messages())
+	return ctx.Messages()
+}
+
+// DispatchStats executes the stats handler with checker-chosen concrete
+// stats values (the process_stats transition armed by discover_stats).
+func (r *Runtime) DispatchStats(sw openflow.SwitchID, stats []openflow.PortStats) []openflow.Msg {
+	r.appDirty()
+	ctx := r.NewContext()
+	r.App.StatsReply(ctx, sw, sym.ConcreteStats(stats))
+	r.Emit(ctx.Messages())
+	return ctx.Messages()
+}
+
+// DispatchEnv executes an environment event on an EnvApp.
+func (r *Runtime) DispatchEnv(event string) []openflow.Msg {
+	env, ok := r.App.(EnvApp)
+	if !ok {
+		panic(fmt.Sprintf("controller: app %s has no environment events", r.App.Name()))
+	}
+	r.appDirty()
+	ctx := r.NewContext()
+	env.EnvApply(ctx, event)
+	r.Emit(ctx.Messages())
+	return ctx.Messages()
+}
+
+// StateKey renders the controller component canonically: the app's own
+// canonical state plus both channel contents. seq/xid counters are
+// excluded (scheduler metadata; see DESIGN.md). All three parts come
+// from the incremental caches; RenderStateKey bypasses them.
+func (r *Runtime) StateKey() string {
+	var b strings.Builder
+	b.WriteString("app{")
+	b.WriteString(r.AppKey())
+	b.WriteString("} in{")
+	b.WriteString(r.InKey())
+	b.WriteString("} out{")
+	b.WriteString(r.OutKey())
+	b.WriteString("}")
+	return b.String()
+}
+
+// RenderStateKey rebuilds the controller key from scratch, ignoring all
+// caches (the differential-oracle path).
+func (r *Runtime) RenderStateKey() string {
+	var b strings.Builder
+	b.WriteString("app{")
+	b.WriteString(r.App.StateKey())
+	b.WriteString("} in{")
+	writeQueues(&b, r.inQ)
+	b.WriteString("} out{")
+	writeQueues(&b, r.outQ)
+	b.WriteString("}")
+	return b.String()
+}
+
+// AppKey renders only the application state — the key of the
+// relevant-packet cache (client.packets in Figure 5 is keyed by
+// "stringified controller state"). The rendering is cached: Versioned
+// apps re-render only when their version counter moves, other apps
+// whenever any handler has run since the last call.
+func (r *Runtime) AppKey() string {
+	if v, ok := r.App.(Versioned); ok {
+		if ver := v.StateVersion(); !r.appKeyValid || r.appVersion != ver {
+			r.fillAppKey()
+			r.appVersion = ver
+		}
+	} else if !r.appKeyValid {
+		r.fillAppKey()
+	}
+	return r.appKey
+}
+
+func (r *Runtime) fillAppKey() {
+	r.appKey = r.App.StateKey()
+	r.appKeyHash = canon.Hash64String(r.appKey)
+	r.appKeyValid = true
+}
+
+// AppKeyHash64 returns the cached 64-bit hash of AppKey.
+func (r *Runtime) AppKeyHash64() uint64 {
+	r.AppKey()
+	return r.appKeyHash
+}
+
+// InKey renders the switch→controller channel contents (cached).
+func (r *Runtime) InKey() string {
+	if !r.inKeyValid {
+		var b strings.Builder
+		writeQueues(&b, r.inQ)
+		r.inKey = b.String()
+		r.inKeyValid = true
+	}
+	return r.inKey
+}
+
+// OutKey renders the controller→switch channel contents (cached).
+func (r *Runtime) OutKey() string {
+	if !r.outKeyValid {
+		var b strings.Builder
+		writeQueues(&b, r.outQ)
+		r.outKey = b.String()
+		r.outKeyValid = true
+	}
+	return r.outKey
+}
+
+func writeQueues(b *strings.Builder, m map[openflow.SwitchID][]openflow.Msg) {
+	for _, sw := range sortedKeys(m) {
+		fmt.Fprintf(b, "%v:[", sw)
+		for i, msg := range m[sw] {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(msg.Key())
+		}
+		b.WriteString("]")
+	}
+}

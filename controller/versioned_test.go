@@ -1,0 +1,40 @@
+package controller_test
+
+import (
+	"testing"
+
+	"github.com/nice-go/nice/apps/energyte"
+	"github.com/nice-go/nice/apps/loadbalancer"
+	"github.com/nice-go/nice/apps/pyswitch"
+	"github.com/nice-go/nice/controller"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
+)
+
+// TestAppsImplementVersioned pins the AppKey dirty-hook wiring: all
+// three case-study applications must satisfy controller.Versioned. An
+// embedded field named identically to the promoted method would shadow
+// it and silently fall back to conservative invalidation — this test is
+// the guard.
+func TestAppsImplementVersioned(t *testing.T) {
+	lin, _, _ := topo.Linear(2)
+	lb, _, _, _ := topo.LoadBalancer()
+	tri, _, _, _ := topo.Triangle()
+	apps := map[string]controller.App{
+		"pyswitch":     pyswitch.New(pyswitch.Buggy, lin),
+		"loadbalancer": loadbalancer.New(loadbalancer.Buggy, lb, openflow.MakeIPAddr(10, 0, 0, 100), 1),
+		"energyte":     energyte.New(energyte.Buggy, tri, 1000, 1),
+	}
+	for name, app := range apps {
+		if _, ok := app.(controller.Versioned); !ok {
+			t.Errorf("%s does not implement controller.Versioned — dirty hook disabled", name)
+		}
+		// Clones must carry the counter (not reset it), or a cached key
+		// could alias across different states.
+		if v, ok := app.(controller.Versioned); ok {
+			if cv := app.Clone().(controller.Versioned); cv.StateVersion() != v.StateVersion() {
+				t.Errorf("%s: clone resets the state version", name)
+			}
+		}
+	}
+}

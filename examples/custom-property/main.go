@@ -16,15 +16,13 @@ import (
 	"fmt"
 
 	"github.com/nice-go/nice"
-	"github.com/nice-go/nice/internal/canon"
-	"github.com/nice-go/nice/internal/openflow"
-	"github.com/nice-go/nice/internal/sym"
+	"github.com/nice-go/nice/openflow"
 )
 
 // limiterApp admits at most maxFlows destination MACs per switch and is
 // supposed to drop everything beyond that. Its bug: the admission check
 // uses > instead of >=, so it installs one rule too many. The
-// known-destination test goes through sym.LookupEth, so discover_packets
+// known-destination test goes through nice.LookupEth, so discover_packets
 // finds one packet class per admitted destination plus the
 // new-destination class — the inputs that drive the limiter to its edge.
 type limiterApp struct {
@@ -51,7 +49,7 @@ func (a *limiterApp) Clone() nice.App {
 	return c
 }
 
-func (a *limiterApp) StateKey() string { return canon.String(a.flows) }
+func (a *limiterApp) StateKey() string { return nice.CanonicalKey(a.flows) }
 
 func (a *limiterApp) SwitchJoin(_ *nice.Context, sw nice.SwitchID) {
 	if a.flows[sw] == nil {
@@ -62,7 +60,7 @@ func (a *limiterApp) SwitchJoin(_ *nice.Context, sw nice.SwitchID) {
 func (a *limiterApp) PacketIn(ctx *nice.Context, sw nice.SwitchID, pkt *nice.SymPacket,
 	buf openflow.BufferID, _ openflow.PacketInReason) {
 
-	if _, known := sym.LookupEth(ctx.Trace(), a.flows[sw], pkt.EthDst()); known {
+	if _, known := nice.LookupEth(ctx.Trace(), a.flows[sw], pkt.EthDst()); known {
 		ctx.PacketOut(sw, buf, openflow.Output(2))
 		return
 	}

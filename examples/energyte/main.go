@@ -20,7 +20,7 @@ import (
 	"fmt"
 
 	"github.com/nice-go/nice"
-	"github.com/nice-go/nice/internal/apps/energyte"
+	"github.com/nice-go/nice/apps/energyte"
 )
 
 func main() {

@@ -21,7 +21,7 @@ import (
 	"os"
 
 	"github.com/nice-go/nice"
-	"github.com/nice-go/nice/internal/apps/loadbalancer"
+	"github.com/nice-go/nice/apps/loadbalancer"
 )
 
 func main() {

@@ -16,7 +16,7 @@ import (
 	"os"
 
 	"github.com/nice-go/nice"
-	"github.com/nice-go/nice/internal/apps/pyswitch"
+	"github.com/nice-go/nice/apps/pyswitch"
 )
 
 func main() {

@@ -23,7 +23,7 @@ import (
 	"time"
 
 	"github.com/nice-go/nice"
-	"github.com/nice-go/nice/internal/apps/pyswitch"
+	"github.com/nice-go/nice/apps/pyswitch"
 )
 
 func main() {

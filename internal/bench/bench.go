@@ -20,8 +20,8 @@ import (
 	"time"
 
 	"github.com/nice-go/nice/internal/core"
-	"github.com/nice-go/nice/internal/scenarios"
 	"github.com/nice-go/nice/internal/search"
+	"github.com/nice-go/nice/scenarios"
 )
 
 // The harness resolves its workloads in the scenario registry, like

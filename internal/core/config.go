@@ -3,10 +3,10 @@ package core
 import (
 	"sort"
 
-	"github.com/nice-go/nice/internal/controller"
-	"github.com/nice-go/nice/internal/hosts"
-	"github.com/nice-go/nice/internal/openflow"
-	"github.com/nice-go/nice/internal/topo"
+	"github.com/nice-go/nice/controller"
+	"github.com/nice-go/nice/hosts"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
 )
 
 // GroupKeyFunc maps a packet header to its flow-group key for the

@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 
-	"github.com/nice-go/nice/internal/openflow"
-	"github.com/nice-go/nice/internal/topo"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
 )
 
 // EventKind enumerates the observable events a transition can produce.

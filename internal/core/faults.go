@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 
-	"github.com/nice-go/nice/internal/openflow"
-	"github.com/nice-go/nice/internal/topo"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
 )
 
 // FaultModel enables the optional channel fault transitions of §2.2.2:

@@ -3,9 +3,9 @@ package core
 import (
 	"testing"
 
-	"github.com/nice-go/nice/internal/hosts"
-	"github.com/nice-go/nice/internal/openflow"
-	"github.com/nice-go/nice/internal/topo"
+	"github.com/nice-go/nice/hosts"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
 )
 
 func faultConfig(fm FaultModel) *Config {

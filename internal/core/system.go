@@ -8,12 +8,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/nice-go/nice/controller"
+	"github.com/nice-go/nice/hosts"
 	"github.com/nice-go/nice/internal/canon"
-	"github.com/nice-go/nice/internal/controller"
-	"github.com/nice-go/nice/internal/hosts"
-	"github.com/nice-go/nice/internal/openflow"
 	"github.com/nice-go/nice/internal/sym"
-	"github.com/nice-go/nice/internal/topo"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
 )
 
 // Caches hold the results of discover transitions. They are shared

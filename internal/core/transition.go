@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/nice-go/nice/internal/openflow"
-	"github.com/nice-go/nice/internal/topo"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
 )
 
 // TransitionKind enumerates the system transitions (§2.2 and Figure 5).

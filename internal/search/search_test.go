@@ -7,7 +7,7 @@ import (
 
 	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/core"
-	"github.com/nice-go/nice/internal/scenarios"
+	"github.com/nice-go/nice/scenarios"
 )
 
 // violatedSet projects a report onto its violated-property set.

@@ -3,7 +3,7 @@ package sym
 import (
 	"testing"
 
-	"github.com/nice-go/nice/internal/openflow"
+	"github.com/nice-go/nice/openflow"
 )
 
 // TestExploreBranchCoverage: a handler with a two-way branch on one

@@ -3,7 +3,7 @@ package sym
 import (
 	"fmt"
 
-	"github.com/nice-go/nice/internal/openflow"
+	"github.com/nice-go/nice/openflow"
 )
 
 // Packet is NICE's symbolic packet (§3.2): one lazily-tracked symbolic

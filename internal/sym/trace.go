@@ -5,7 +5,7 @@ import (
 	"sort"
 	"strings"
 
-	"github.com/nice-go/nice/internal/openflow"
+	"github.com/nice-go/nice/openflow"
 )
 
 // Branch is one recorded branch decision: the condition's expression and

@@ -33,7 +33,12 @@
 // WithMaxStates, WithMaxTransitions), context cancellation, and
 // streaming results (WithObserver) — see run.go.
 //
-// The package exposes the building blocks as documented aliases:
+// The building blocks live in public subpackages — openflow, topo,
+// controller, hosts, props, apps/{pyswitch,loadbalancer,energyte} and
+// scenarios — and this package re-exposes them as documented aliases,
+// so either import style works and the two never diverge (an alias *is*
+// the subpackage type, not a copy; see README "Package layout" for the
+// compatibility guarantee):
 //
 //   - the system model: switches, packets, matches, flow tables
 //     (openflow types), topologies (Topology), and end hosts (Host);
@@ -45,7 +50,7 @@
 //     DirectPaths, StrictDirectPaths, NoForgottenPackets, plus the
 //     application-specific FlowAffinity and UseCorrectRoutingTable;
 //   - the three case-study applications of §8 under
-//     internal/apps/{pyswitch,loadbalancer,energyte}, each in its
+//     apps/{pyswitch,loadbalancer,energyte}, each in its
 //     published (buggy) and repaired variants.
 //
 // Controller applications implement the App interface: event handlers
@@ -58,14 +63,15 @@
 package nice
 
 import (
-	"github.com/nice-go/nice/internal/controller"
+	"github.com/nice-go/nice/controller"
+	"github.com/nice-go/nice/hosts"
+	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/core"
-	"github.com/nice-go/nice/internal/hosts"
-	"github.com/nice-go/nice/internal/openflow"
-	"github.com/nice-go/nice/internal/props"
 	"github.com/nice-go/nice/internal/search"
 	"github.com/nice-go/nice/internal/sym"
-	"github.com/nice-go/nice/internal/topo"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/props"
+	"github.com/nice-go/nice/topo"
 )
 
 // Checking machinery (internal/core).
@@ -97,7 +103,7 @@ type (
 	GroupKeyFunc = core.GroupKeyFunc
 )
 
-// Controller programming model (internal/controller).
+// Controller programming model (controller).
 type (
 	// App is a controller application under test.
 	App = controller.App
@@ -109,7 +115,7 @@ type (
 	Context = controller.Context
 )
 
-// End hosts (internal/hosts).
+// End hosts (hosts).
 type (
 	// Host is the dynamic state of one end host.
 	Host = hosts.Host
@@ -117,7 +123,7 @@ type (
 	ReplyFunc = hosts.ReplyFunc
 )
 
-// Network model (internal/openflow, internal/topo).
+// Network model (openflow, topo).
 type (
 	// Topology is the static network description.
 	Topology = topo.Topology
@@ -144,6 +150,8 @@ type (
 	// Field names a packet header field (matching and symbolic
 	// variables share this namespace).
 	Field = openflow.Field
+	// Flow is a connection 4-tuple (the load balancer's microflow key).
+	Flow = openflow.Flow
 )
 
 // Header fields (the OpenFlow 1.0 12-tuple plus controller-visible
@@ -211,7 +219,35 @@ type (
 	SymValue = sym.Value
 	// SymBool is a concolic boolean.
 	SymBool = sym.Bool
+	// SymTrace records the branch decisions of one concolic handler
+	// run (Context.Trace hands it to the Lookup* stubs).
+	SymTrace = sym.Trace
 )
+
+// LookupEth reads m[key] through the concolic engine, recording the
+// which-entry branch constraint so discover_packets can enumerate one
+// packet class per map outcome — the paper's §3 map-stub convention.
+// Handlers must route every packet-dependent map access through a
+// Lookup* stub (or Context.If) for symbolic execution to see it.
+func LookupEth[V any](t *SymTrace, m map[EthAddr]V, key SymValue) (V, bool) {
+	return sym.LookupEth(t, m, key)
+}
+
+// LookupIP is LookupEth for IPv4-keyed maps.
+func LookupIP[V any](t *SymTrace, m map[IPAddr]V, key SymValue) (V, bool) {
+	return sym.LookupIP(t, m, key)
+}
+
+// LookupFlow is LookupEth for connection-4-tuple-keyed maps: the whole
+// tuple participates in the recorded constraint.
+func LookupFlow[V any](t *SymTrace, m map[Flow]V, p *SymPacket) (V, bool) {
+	return sym.LookupFlow(t, m, p)
+}
+
+// CanonicalKey serializes v deterministically (map keys sorted, cycles
+// cut) — the helper App.StateKey and Property.StateKey implementations
+// use so equal logical states always produce equal keys.
+func CanonicalKey(v any) string { return canon.String(v) }
 
 // NewChecker prepares a search over a configuration.
 func NewChecker(cfg *Config) *Checker { return core.NewChecker(cfg) }

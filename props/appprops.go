@@ -1,0 +1,314 @@
+package props
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice/openflow"
+)
+
+// connKey identifies a TCP connection from the client side.
+type connKey struct {
+	ClientIP   openflow.IPAddr
+	ClientPort uint16
+}
+
+// FlowAffinity is the load balancer's application-specific property
+// (§8.2): all packets of a single TCP connection must go to the same
+// server replica. BUG-VII (duplicate SYN during a policy transition)
+// violates it.
+type FlowAffinity struct {
+	// VIP is the virtual IP clients connect to.
+	VIP openflow.IPAddr
+	// Replicas are the server host IDs.
+	Replicas []openflow.HostID
+
+	assigned map[connKey]openflow.HostID
+	cache    cachedKey
+}
+
+// NewFlowAffinity returns the property for the given virtual IP and
+// replica set.
+func NewFlowAffinity(vip openflow.IPAddr, replicas ...openflow.HostID) *FlowAffinity {
+	return &FlowAffinity{VIP: vip, Replicas: replicas,
+		assigned: make(map[connKey]openflow.HostID)}
+}
+
+// Name implements core.Property.
+func (p *FlowAffinity) Name() string { return "FlowAffinity" }
+
+// Clone implements core.Property.
+func (p *FlowAffinity) Clone() core.Property {
+	c := NewFlowAffinity(p.VIP, p.Replicas...)
+	for k, v := range p.assigned {
+		c.assigned[k] = v
+	}
+	c.cache = p.cache
+	return c
+}
+
+func (p *FlowAffinity) isReplica(h openflow.HostID) bool {
+	for _, r := range p.Replicas {
+		if r == h {
+			return true
+		}
+	}
+	return false
+}
+
+// OnEvents implements core.Property.
+func (p *FlowAffinity) OnEvents(_ *core.System, events []core.Event) error {
+	for _, e := range events {
+		if e.Kind != core.EvDelivered || !p.isReplica(e.Host) {
+			continue
+		}
+		// Note: the balancer rewrites IPDst from the VIP to the chosen
+		// replica's address before delivery, so any TCP segment
+		// reaching a replica is service traffic; the connection is
+		// identified by its client-side endpoint.
+		h := e.Pkt.Header
+		if h.EthType != openflow.EthTypeIPv4 || h.IPProto != openflow.IPProtoTCP {
+			continue
+		}
+		k := connKey{ClientIP: h.IPSrc, ClientPort: h.TPSrc}
+		if prev, ok := p.assigned[k]; ok && prev != e.Host {
+			return fmt.Errorf("connection %v:%d split across replicas %v and %v (packet %s)",
+				k.ClientIP, k.ClientPort, prev, e.Host, h)
+		}
+		p.cache.invalidate()
+		p.assigned[k] = e.Host
+	}
+	return nil
+}
+
+// AtQuiescence implements core.Property.
+func (p *FlowAffinity) AtQuiescence(*core.System) error { return nil }
+
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *FlowAffinity) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *FlowAffinity) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *FlowAffinity) renderStateKey() string {
+	keys := make([]connKey, 0, len(p.assigned))
+	for k := range p.assigned {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ClientIP != keys[j].ClientIP {
+			return keys[i].ClientIP < keys[j].ClientIP
+		}
+		return keys[i].ClientPort < keys[j].ClientPort
+	})
+	b := make([]byte, 0, 16+24*len(keys))
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendUint(b, uint64(uint32(k.ClientIP)), 16)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, uint64(k.ClientPort), 10)
+		b = append(b, '>')
+		b = strconv.AppendInt(b, int64(p.assigned[k]), 10)
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// TESpec is the routing specification the UseCorrectRoutingTable
+// property enforces for the energy-efficient traffic-engineering
+// application (§8.3): under low load every flow uses the always-on path;
+// under high load new flows alternate between the always-on and
+// on-demand paths (the deterministic stand-in for the paper's
+// probabilistic 50/50 split).
+type TESpec struct {
+	// Ingress is the switch where new flows enter (s1).
+	Ingress openflow.SwitchID
+	// AlwaysOnPort / OnDemandPort are the ingress egress ports of the
+	// two paths.
+	AlwaysOnPort openflow.PortID
+	OnDemandPort openflow.PortID
+	// MonitorPort is the port whose TX counter the controller samples.
+	MonitorPort openflow.PortID
+	// Threshold is the utilization above which load is "high".
+	Threshold uint64
+}
+
+// ExpectedPort returns the egress port the spec assigns to the idx-th
+// new flow under the given load.
+func (s TESpec) ExpectedPort(high bool, idx int) openflow.PortID {
+	if !high {
+		return s.AlwaysOnPort
+	}
+	if idx%2 == 0 {
+		return s.AlwaysOnPort
+	}
+	return s.OnDemandPort
+}
+
+// UseCorrectRoutingTable checks that the controller, upon receiving a
+// packet from an ingress switch, issues rules placing the flow on the
+// path the current network load calls for (§8.3). It mirrors the spec
+// independently of the application: it watches process_stats events to
+// track the load the controller has been told about, counts new flows as
+// the controller handles their packet_in, and validates the ingress rule
+// installs that follow.
+type UseCorrectRoutingTable struct {
+	Spec TESpec
+
+	high     bool
+	flowIdx  int
+	expected map[openflow.Flow]openflow.PortID
+	cache    cachedKey
+}
+
+// NewUseCorrectRoutingTable returns the property for a TE spec.
+func NewUseCorrectRoutingTable(spec TESpec) *UseCorrectRoutingTable {
+	return &UseCorrectRoutingTable{Spec: spec,
+		expected: make(map[openflow.Flow]openflow.PortID)}
+}
+
+// Name implements core.Property.
+func (p *UseCorrectRoutingTable) Name() string { return "UseCorrectRoutingTable" }
+
+// Clone implements core.Property.
+func (p *UseCorrectRoutingTable) Clone() core.Property {
+	c := NewUseCorrectRoutingTable(p.Spec)
+	c.high = p.high
+	c.flowIdx = p.flowIdx
+	for k, v := range p.expected {
+		c.expected[k] = v
+	}
+	c.cache = p.cache
+	return c
+}
+
+// OnEvents implements core.Property.
+func (p *UseCorrectRoutingTable) OnEvents(_ *core.System, events []core.Event) error {
+	for _, e := range events {
+		switch e.Kind {
+		case core.EvStats:
+			for _, ps := range e.Stats {
+				if ps.Port == p.Spec.MonitorPort {
+					p.cache.invalidate()
+					p.high = ps.TxBytes >= p.Spec.Threshold
+				}
+			}
+		case core.EvCtrlDispatch:
+			// A new flow is born when the controller handles a
+			// packet_in for it at the ingress switch. Flows are
+			// keyed at MAC granularity — the granularity of the TE
+			// application's rules.
+			if e.Msg.Type != openflow.MsgPacketIn || e.Msg.Switch != p.Spec.Ingress {
+				continue
+			}
+			f := macFlow(e.Msg.Packet.Header.Flow())
+			if _, known := p.expected[f]; known {
+				continue
+			}
+			p.cache.invalidate()
+			p.expected[f] = p.Spec.ExpectedPort(p.high, p.flowIdx)
+			p.flowIdx++
+		case core.EvRuleInstalled:
+			if e.Sw != p.Spec.Ingress {
+				continue
+			}
+			f, ok := ruleFlow(e.Rule)
+			if !ok {
+				continue
+			}
+			want, known := p.expected[macFlow(f)]
+			if !known {
+				continue
+			}
+			for _, a := range e.Rule.Actions {
+				if a.Type == openflow.ActionOutput && a.Port != want {
+					return fmt.Errorf("flow %v routed out %v of %v, but the %s table requires %v (load high=%t)",
+						f, a.Port, e.Sw, tableName(want, p.Spec), want, p.high)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func tableName(port openflow.PortID, spec TESpec) string {
+	if port == spec.AlwaysOnPort {
+		return "always-on"
+	}
+	return "on-demand"
+}
+
+// macFlow projects a flow onto its MAC-pair + EtherType identity.
+func macFlow(f openflow.Flow) openflow.Flow {
+	return openflow.Flow{EthSrc: f.EthSrc, EthDst: f.EthDst, EthType: f.EthType}
+}
+
+// ruleFlow reconstructs the flow a microflow-ish rule serves from its
+// match (needs at least the MAC pair).
+func ruleFlow(r openflow.Rule) (openflow.Flow, bool) {
+	src, okS := r.Match.Value(openflow.FieldEthSrc)
+	dst, okD := r.Match.Value(openflow.FieldEthDst)
+	if !okS || !okD {
+		return openflow.Flow{}, false
+	}
+	f := openflow.Flow{EthSrc: openflow.EthAddr(src), EthDst: openflow.EthAddr(dst)}
+	if v, ok := r.Match.Value(openflow.FieldEthType); ok {
+		f.EthType = uint16(v)
+	}
+	if v, ok := r.Match.Value(openflow.FieldIPSrc); ok {
+		f.IPSrc = openflow.IPAddr(uint32(v))
+	}
+	if v, ok := r.Match.Value(openflow.FieldIPDst); ok {
+		f.IPDst = openflow.IPAddr(uint32(v))
+	}
+	if v, ok := r.Match.Value(openflow.FieldIPProto); ok {
+		f.IPProto = uint8(v)
+	}
+	if v, ok := r.Match.Value(openflow.FieldTPSrc); ok {
+		f.TPSrc = uint16(v)
+	}
+	if v, ok := r.Match.Value(openflow.FieldTPDst); ok {
+		f.TPDst = uint16(v)
+	}
+	return f, true
+}
+
+// AtQuiescence implements core.Property.
+func (p *UseCorrectRoutingTable) AtQuiescence(*core.System) error { return nil }
+
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *UseCorrectRoutingTable) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *UseCorrectRoutingTable) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *UseCorrectRoutingTable) renderStateKey() string {
+	flows := make([]openflow.Flow, 0, len(p.expected))
+	for f := range p.expected {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flowBefore(flows[i], flows[j]) })
+	b := make([]byte, 0, 32+32*len(flows))
+	b = append(b, "high="...)
+	b = strconv.AppendBool(b, p.high)
+	b = append(b, " idx="...)
+	b = strconv.AppendInt(b, int64(p.flowIdx), 10)
+	b = append(b, " {"...)
+	for i, f := range flows {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = appendFlow(b, f)
+		b = append(b, '>')
+		b = strconv.AppendInt(b, int64(p.expected[f]), 10)
+	}
+	b = append(b, '}')
+	return string(b)
+}

@@ -1,0 +1,436 @@
+// Package props is NICE's library of correctness properties (§5.2):
+// NoForwardingLoops, NoBlackHoles, DirectPaths, StrictDirectPaths and
+// NoForgottenPackets, plus the application-specific FlowAffinity (§8.2)
+// and UseCorrectRoutingTable (§8.3). Properties observe transition
+// events, keep local state (cloned as the search forks), and may inspect
+// the global system state; definitions are written to be robust to
+// controller↔switch delays, testing only at "safe" times (§5.2).
+package props
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice/openflow"
+)
+
+// visitKey identifies one <switch, input port> visit of a packet lineage.
+type visitKey struct {
+	Orig openflow.PacketID
+	Sw   openflow.SwitchID
+	Port openflow.PortID
+}
+
+// NoForwardingLoops asserts packets never encounter forwarding loops,
+// "implemented by checking that each packet goes through any given
+// <switch, input port> pair at most once" (§5.2). Copies created by
+// flooding share their origin's identity: two same-origin arrivals at
+// one port only happen when the topology cycles traffic back.
+type NoForwardingLoops struct {
+	visited map[visitKey]bool
+	cache   cachedKey
+}
+
+// NewNoForwardingLoops returns the property.
+func NewNoForwardingLoops() *NoForwardingLoops {
+	return &NoForwardingLoops{visited: make(map[visitKey]bool)}
+}
+
+// Name implements core.Property.
+func (p *NoForwardingLoops) Name() string { return "NoForwardingLoops" }
+
+// Clone implements core.Property.
+func (p *NoForwardingLoops) Clone() core.Property {
+	c := NewNoForwardingLoops()
+	for k := range p.visited {
+		c.visited[k] = true
+	}
+	c.cache = p.cache
+	return c
+}
+
+// OnEvents implements core.Property.
+func (p *NoForwardingLoops) OnEvents(_ *core.System, events []core.Event) error {
+	for _, e := range events {
+		if e.Kind != core.EvArrive {
+			continue
+		}
+		k := visitKey{Orig: e.Pkt.Orig, Sw: e.Sw, Port: e.Port}
+		if p.visited[k] {
+			return fmt.Errorf("packet (%s) traversed %v:%v twice — forwarding loop",
+				e.Pkt.Header, e.Sw, e.Port)
+		}
+		p.cache.invalidate()
+		p.visited[k] = true
+	}
+	return nil
+}
+
+// AtQuiescence implements core.Property.
+func (p *NoForwardingLoops) AtQuiescence(*core.System) error { return nil }
+
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *NoForwardingLoops) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *NoForwardingLoops) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *NoForwardingLoops) renderStateKey() string {
+	keys := make([]visitKey, 0, len(p.visited))
+	for k := range p.visited {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Orig != b.Orig {
+			return a.Orig < b.Orig
+		}
+		if a.Sw != b.Sw {
+			return a.Sw < b.Sw
+		}
+		return a.Port < b.Port
+	})
+	b := make([]byte, 0, 16+12*len(keys))
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, int64(k.Orig), 10)
+		b = append(b, '@')
+		b = strconv.AppendInt(b, int64(k.Sw), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(k.Port), 10)
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// NoBlackHoles asserts no packet is dropped in the network: every packet
+// that enters ultimately leaves or is consumed by the controller, with a
+// zero balance between packet copies and consumptions (§5.2). A packet
+// emitted on a port with nothing attached is an immediate violation;
+// residual in-flight packets are checked at quiescence. Packets parked
+// in switch buffers are NoForgottenPackets' concern and excluded here.
+type NoBlackHoles struct {
+	// alive maps in-network packet instances to a short description.
+	alive map[openflow.PacketID]string
+	// buffered marks instances currently parked at a switch.
+	buffered map[openflow.PacketID]bool
+	cache    cachedKey
+}
+
+// NewNoBlackHoles returns the property.
+func NewNoBlackHoles() *NoBlackHoles {
+	return &NoBlackHoles{
+		alive:    make(map[openflow.PacketID]string),
+		buffered: make(map[openflow.PacketID]bool),
+	}
+}
+
+// Name implements core.Property.
+func (p *NoBlackHoles) Name() string { return "NoBlackHoles" }
+
+// Clone implements core.Property.
+func (p *NoBlackHoles) Clone() core.Property {
+	c := NewNoBlackHoles()
+	for k, v := range p.alive {
+		c.alive[k] = v
+	}
+	for k, v := range p.buffered {
+		c.buffered[k] = v
+	}
+	c.cache = p.cache
+	return c
+}
+
+// OnEvents implements core.Property.
+func (p *NoBlackHoles) OnEvents(_ *core.System, events []core.Event) error {
+	for _, e := range events {
+		switch e.Kind {
+		case core.EvHostSend, core.EvCopied, core.EvCtrlInject, core.EvFaultDuplicated:
+			p.cache.invalidate()
+			p.alive[e.Pkt.ID] = e.Pkt.Header.String()
+		case core.EvDelivered, core.EvDropped, core.EvFaultDropped:
+			// Fault-model losses are the environment's doing, not the
+			// controller's; they leave the balance.
+			p.cache.invalidate()
+			delete(p.alive, e.Pkt.ID)
+			delete(p.buffered, e.Pkt.ID)
+		case core.EvBuffered:
+			p.cache.invalidate()
+			p.buffered[e.Pkt.ID] = true
+		case core.EvReleased:
+			p.cache.invalidate()
+			delete(p.buffered, e.Pkt.ID)
+		case core.EvVanished:
+			return fmt.Errorf("packet (%s) emitted on %v:%v with nothing attached — black hole",
+				e.Pkt.Header, e.Sw, e.Port)
+		}
+	}
+	return nil
+}
+
+// AtQuiescence implements core.Property.
+func (p *NoBlackHoles) AtQuiescence(*core.System) error {
+	var leaked []string
+	for id, desc := range p.alive {
+		if !p.buffered[id] {
+			leaked = append(leaked, desc)
+		}
+	}
+	if len(leaked) > 0 {
+		sort.Strings(leaked)
+		return fmt.Errorf("copy balance non-zero at end of execution: %d packet(s) unaccounted: %s",
+			len(leaked), strings.Join(leaked, "; "))
+	}
+	return nil
+}
+
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *NoBlackHoles) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *NoBlackHoles) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *NoBlackHoles) renderStateKey() string {
+	ids := make([]int64, 0, len(p.alive))
+	for id := range p.alive {
+		ids = append(ids, int64(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b := make([]byte, 0, 32+24*len(ids))
+	b = append(b, "alive{"...)
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, id, 10)
+		b = append(b, ':')
+		b = append(b, p.alive[openflow.PacketID(id)]...)
+	}
+	b = append(b, "}buf"...)
+	b = appendPacketIDSet(b, p.buffered)
+	return string(b)
+}
+
+// NoForgottenPackets asserts all switch buffers are empty at the end of
+// an execution: a program that forgets to tell the switch what to do
+// with a buffered packet leaks buffer space and eventually loses packets
+// (§5.2). Four of the paper's eleven bugs violate exactly this.
+type NoForgottenPackets struct{}
+
+// NewNoForgottenPackets returns the property.
+func NewNoForgottenPackets() *NoForgottenPackets { return &NoForgottenPackets{} }
+
+// Name implements core.Property.
+func (p *NoForgottenPackets) Name() string { return "NoForgottenPackets" }
+
+// Clone implements core.Property.
+func (p *NoForgottenPackets) Clone() core.Property { return &NoForgottenPackets{} }
+
+// OnEvents implements core.Property.
+func (p *NoForgottenPackets) OnEvents(*core.System, []core.Event) error { return nil }
+
+// AtQuiescence implements core.Property.
+func (p *NoForgottenPackets) AtQuiescence(sys *core.System) error {
+	for _, id := range sys.SwitchIDs() {
+		if buf := sys.Switch(id).Buffered(); len(buf) > 0 {
+			var descs []string
+			for _, e := range buf {
+				descs = append(descs, fmt.Sprintf("(%s)@%v", e.Pkt.Header, e.InPort))
+			}
+			return fmt.Errorf("switch %v still buffers %d packet(s) at end of execution: %s",
+				id, len(buf), strings.Join(descs, "; "))
+		}
+	}
+	return nil
+}
+
+// StateKey implements core.Property.
+func (p *NoForgottenPackets) StateKey() string { return "" }
+
+// DirectPaths checks that once a packet has successfully reached its
+// destination, future packets of the same flow do not go to the
+// controller (§5.2). Not applicable to plain MAC learning (the paper
+// notes it needs both directions learned first) — use StrictDirectPaths
+// there.
+type DirectPaths struct {
+	delivered map[openflow.Flow]bool
+	// lateSend marks packet lineages sent after their flow's path was
+	// established; only those may not reach the controller (delay
+	// robustness: packets already in flight are exempt).
+	lateSend map[openflow.PacketID]bool
+	cache    cachedKey
+}
+
+// NewDirectPaths returns the property.
+func NewDirectPaths() *DirectPaths {
+	return &DirectPaths{
+		delivered: make(map[openflow.Flow]bool),
+		lateSend:  make(map[openflow.PacketID]bool),
+	}
+}
+
+// Name implements core.Property.
+func (p *DirectPaths) Name() string { return "DirectPaths" }
+
+// Clone implements core.Property.
+func (p *DirectPaths) Clone() core.Property {
+	c := NewDirectPaths()
+	for k, v := range p.delivered {
+		c.delivered[k] = v
+	}
+	for k, v := range p.lateSend {
+		c.lateSend[k] = v
+	}
+	c.cache = p.cache
+	return c
+}
+
+// OnEvents implements core.Property.
+func (p *DirectPaths) OnEvents(_ *core.System, events []core.Event) error {
+	for _, e := range events {
+		switch e.Kind {
+		case core.EvDelivered:
+			if degenerateFlow(e.Pkt.Header) {
+				continue
+			}
+			p.cache.invalidate()
+			p.delivered[e.Pkt.Header.Flow()] = true
+		case core.EvHostSend:
+			if !degenerateFlow(e.Pkt.Header) && p.delivered[e.Pkt.Header.Flow()] {
+				p.cache.invalidate()
+				p.lateSend[e.Pkt.Orig] = true
+			}
+		case core.EvPacketIn:
+			if p.lateSend[e.Pkt.Orig] {
+				return fmt.Errorf("packet (%s) went to the controller after its flow had a direct path",
+					e.Pkt.Header)
+			}
+		}
+	}
+	return nil
+}
+
+// degenerateFlow filters packets that are not host-to-host conversations
+// (broadcast destinations and self-addressed packets): path
+// establishment is only meaningful between two distinct hosts.
+func degenerateFlow(h openflow.Header) bool {
+	return h.EthDst == openflow.BroadcastEth || h.EthSrc == h.EthDst ||
+		h.EthDst.IsGroup()
+}
+
+// AtQuiescence implements core.Property.
+func (p *DirectPaths) AtQuiescence(*core.System) error { return nil }
+
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *DirectPaths) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *DirectPaths) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *DirectPaths) renderStateKey() string {
+	b := appendFlowSet(make([]byte, 0, 64), p.delivered)
+	return string(appendPacketIDSet(b, p.lateSend))
+}
+
+// StrictDirectPaths checks that after two hosts have delivered at least
+// one packet of a flow in each direction, no successive packets reach
+// the controller (§5.2) — pyswitch's BUG-II violates this. Robustness to
+// natural delays comes from only judging packets sent after the
+// establishment completed.
+type StrictDirectPaths struct {
+	delivered map[openflow.Flow]bool // unidirectional deliveries seen
+	lateSend  map[openflow.PacketID]bool
+	cache     cachedKey
+}
+
+// NewStrictDirectPaths returns the property.
+func NewStrictDirectPaths() *StrictDirectPaths {
+	return &StrictDirectPaths{
+		delivered: make(map[openflow.Flow]bool),
+		lateSend:  make(map[openflow.PacketID]bool),
+	}
+}
+
+// Name implements core.Property.
+func (p *StrictDirectPaths) Name() string { return "StrictDirectPaths" }
+
+// Clone implements core.Property.
+func (p *StrictDirectPaths) Clone() core.Property {
+	c := NewStrictDirectPaths()
+	for k, v := range p.delivered {
+		c.delivered[k] = v
+	}
+	for k, v := range p.lateSend {
+		c.lateSend[k] = v
+	}
+	c.cache = p.cache
+	return c
+}
+
+// established reports whether both directions of the flow have seen a
+// delivery. Direction matching uses MAC endpoints only, so an echoed
+// payload or rewritten ports still count as the return direction.
+func (p *StrictDirectPaths) established(f openflow.Flow) bool {
+	if !p.deliveredDir(f.EthSrc, f.EthDst) {
+		return false
+	}
+	return p.deliveredDir(f.EthDst, f.EthSrc)
+}
+
+func (p *StrictDirectPaths) deliveredDir(src, dst openflow.EthAddr) bool {
+	for f := range p.delivered {
+		if f.EthSrc == src && f.EthDst == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// OnEvents implements core.Property.
+func (p *StrictDirectPaths) OnEvents(_ *core.System, events []core.Event) error {
+	for _, e := range events {
+		switch e.Kind {
+		case core.EvDelivered:
+			if degenerateFlow(e.Pkt.Header) {
+				continue
+			}
+			p.cache.invalidate()
+			p.delivered[e.Pkt.Header.Flow()] = true
+		case core.EvHostSend:
+			if !degenerateFlow(e.Pkt.Header) && p.established(e.Pkt.Header.Flow()) {
+				p.cache.invalidate()
+				p.lateSend[e.Pkt.Orig] = true
+			}
+		case core.EvPacketIn:
+			if p.lateSend[e.Pkt.Orig] {
+				return fmt.Errorf("packet (%s) reached the controller after hosts exchanged traffic in both directions",
+					e.Pkt.Header)
+			}
+		}
+	}
+	return nil
+}
+
+// AtQuiescence implements core.Property.
+func (p *StrictDirectPaths) AtQuiescence(*core.System) error { return nil }
+
+// StateKey implements core.Property (memoized; see keys.go).
+func (p *StrictDirectPaths) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// RenderStateKey implements core.FreshKeyer: a from-scratch render
+// bypassing the memo, for the differential oracle.
+func (p *StrictDirectPaths) RenderStateKey() string { return p.renderStateKey() }
+
+func (p *StrictDirectPaths) renderStateKey() string {
+	b := appendFlowSet(make([]byte, 0, 64), p.delivered)
+	return string(appendPacketIDSet(b, p.lateSend))
+}

@@ -13,8 +13,8 @@ import (
 
 	"github.com/nice-go/nice"
 	"github.com/nice-go/nice/internal/core"
-	"github.com/nice-go/nice/internal/scenarios"
 	"github.com/nice-go/nice/internal/search"
+	"github.com/nice-go/nice/scenarios"
 )
 
 func violatedSet(r *nice.Report) map[string]bool {

@@ -5,12 +5,14 @@ package nice_test
 
 import (
 	"context"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/nice-go/nice"
-	"github.com/nice-go/nice/internal/scenarios"
+	"github.com/nice-go/nice/scenarios"
 )
 
 // fullBugII is the BUG-II scenario with the early stop removed, so the
@@ -281,4 +283,45 @@ func TestObserverStreaming(t *testing.T) {
 				last.Transitions, last.UniqueStates, report.Transitions, report.UniqueStates)
 		}
 	}
+}
+
+// TestDeprecatedWrappersParity: the deprecated Check / CheckParallel
+// wrappers stay exact synonyms of their Run spellings — this is their
+// only remaining in-repo exerciser; every other caller migrated to Run.
+func TestDeprecatedWrappersParity(t *testing.T) {
+	//lint:ignore SA1019 parity with the deprecated entry point is the point
+	legacy := nice.Check(fullBugII())
+	got := nice.Run(context.Background(), fullBugII())
+	if got.UniqueStates != legacy.UniqueStates || got.Transitions != legacy.Transitions ||
+		len(got.Violations) != len(legacy.Violations) {
+		t.Errorf("Run %d/%d/%d != Check %d/%d/%d",
+			got.UniqueStates, got.Transitions, len(got.Violations),
+			legacy.UniqueStates, legacy.Transitions, len(legacy.Violations))
+	}
+
+	// Workers=1 delegates to the sequential checker, so the parallel
+	// wrapper must match exactly too.
+	//lint:ignore SA1019 parity with the deprecated entry point is the point
+	par := nice.CheckParallel(fullBugII(), 1)
+	if par.UniqueStates != legacy.UniqueStates || par.Transitions != legacy.Transitions {
+		t.Errorf("CheckParallel(1) %d/%d != Check %d/%d",
+			par.UniqueStates, par.Transitions, legacy.UniqueStates, legacy.Transitions)
+	}
+	//lint:ignore SA1019 parity with the deprecated entry point is the point
+	par4 := nice.CheckParallel(fullBugII(), 4)
+	runPar4 := nice.Run(context.Background(), fullBugII(), nice.WithWorkers(4))
+	if violationProps(par4) != violationProps(runPar4) {
+		t.Errorf("CheckParallel(4) violations %q != Run(WithWorkers(4)) %q",
+			violationProps(par4), violationProps(runPar4))
+	}
+}
+
+// violationProps renders the sorted violated-property set.
+func violationProps(r *nice.Report) string {
+	props := make([]string, 0, len(r.Violations))
+	for i := range r.Violations {
+		props = append(props, r.Violations[i].Property)
+	}
+	sort.Strings(props)
+	return strings.Join(props, ",")
 }

@@ -1,0 +1,7 @@
+module example.com/nice-consumer
+
+go 1.23
+
+require github.com/nice-go/nice v0.0.0
+
+replace github.com/nice-go/nice => ../..

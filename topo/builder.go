@@ -1,0 +1,338 @@
+package topo
+
+import (
+	"fmt"
+
+	"github.com/nice-go/nice/openflow"
+)
+
+// Builder is a fluent, error-accumulating topology constructor. Unlike
+// the raw Topology Add* methods (which panic on misuse), a Builder
+// records every declaration, reports all problems from Build at once,
+// and fills in the mechanical parts of a description:
+//
+//   - ports: switches declared with ports=0 are sized to whatever
+//     Connect/Host declarations attach to them; auto-allocated
+//     endpoints take the lowest port not claimed by any explicit
+//     declaration (links resolve before host attachments);
+//   - addresses: hosts declared without a MAC/IP get deterministic
+//     ones (host i gets MAC …:00:2i and IP 10.0.x.y), matching the
+//     well-known MACHostA/IPHostA convention of the presets.
+//
+// The parameterized generators (Star, Mesh, FatTree, LinearHosts) are
+// built on it, and scenario authors can use it directly:
+//
+//	t := topo.NewBuilder().
+//		Switches(3, 0).
+//		Connect(1, 2).Connect(2, 3).
+//		Host("A", 1).Host("B", 3).
+//		MustBuild()
+//
+// A Builder is single-use: Build may be called once.
+type Builder struct {
+	switches []builderSwitch
+	links    []builderLink
+	hosts    []builderHost
+
+	swSeen   map[openflow.SwitchID]int // index into switches
+	hostSeen map[string]bool
+	errs     []error
+	built    bool
+}
+
+type builderSwitch struct {
+	id    openflow.SwitchID
+	ports int // 0 = auto-size to the attached declarations
+}
+
+type builderLink struct {
+	a, b PortKey // Port 0 = allocate on Build
+}
+
+type builderHost struct {
+	name      string
+	mac       openflow.EthAddr
+	ip        openflow.IPAddr
+	autoAddr  bool
+	locations []PortKey // Port 0 = allocate on Build
+}
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		swSeen:   make(map[openflow.SwitchID]int),
+		hostSeen: make(map[string]bool),
+	}
+}
+
+func (b *Builder) errf(format string, args ...any) *Builder {
+	b.errs = append(b.errs, fmt.Errorf("topo: "+format, args...))
+	return b
+}
+
+// Switch declares one switch. ports=0 sizes the switch automatically
+// to the Connect/Host declarations that attach to it.
+func (b *Builder) Switch(id openflow.SwitchID, ports int) *Builder {
+	if _, dup := b.swSeen[id]; dup {
+		return b.errf("duplicate switch %v", id)
+	}
+	if ports < 0 {
+		return b.errf("switch %v declared with negative ports %d", id, ports)
+	}
+	b.swSeen[id] = len(b.switches)
+	b.switches = append(b.switches, builderSwitch{id: id, ports: ports})
+	return b
+}
+
+// Switches declares switches 1..n, each with the given port count
+// (0 = auto-size).
+func (b *Builder) Switches(n, portsEach int) *Builder {
+	if n < 1 {
+		return b.errf("Switches(%d): need at least one switch", n)
+	}
+	for i := 1; i <= n; i++ {
+		b.Switch(openflow.SwitchID(i), portsEach)
+	}
+	return b
+}
+
+// Connect links two declared switches, allocating the next free port
+// on each end.
+func (b *Builder) Connect(x, y openflow.SwitchID) *Builder {
+	return b.link(PortKey{Sw: x}, PortKey{Sw: y})
+}
+
+// LinkAt links two switch ports explicitly (a port of 0 allocates the
+// next free port on that end).
+func (b *Builder) LinkAt(a, c PortKey) *Builder { return b.link(a, c) }
+
+func (b *Builder) link(a, c PortKey) *Builder {
+	for _, k := range []PortKey{a, c} {
+		if _, ok := b.swSeen[k.Sw]; !ok {
+			return b.errf("link %v-%v references undeclared switch %v", a, c, k.Sw)
+		}
+	}
+	b.links = append(b.links, builderLink{a: a, b: c})
+	return b
+}
+
+// Host attaches a named host to the next free port of a declared
+// switch, with automatically assigned deterministic MAC/IP.
+func (b *Builder) Host(name string, sw openflow.SwitchID) *Builder {
+	return b.host(name, nil, true, openflow.EthAddr(0), openflow.IPAddr(0), PortKey{Sw: sw})
+}
+
+// HostAt attaches a named host to an explicit switch port (port 0
+// allocates), with automatically assigned MAC/IP. Extra locations
+// become mobile-host move targets.
+func (b *Builder) HostAt(name string, locations ...PortKey) *Builder {
+	return b.host(name, locations, true, openflow.EthAddr(0), openflow.IPAddr(0))
+}
+
+// HostAddr attaches a named host with an explicit MAC/IP identity.
+// locations[0] is the initial attachment (port 0 allocates); extra
+// locations become mobile-host move targets.
+func (b *Builder) HostAddr(name string, mac openflow.EthAddr, ip openflow.IPAddr, locations ...PortKey) *Builder {
+	return b.host(name, locations, false, mac, ip)
+}
+
+func (b *Builder) host(name string, locations []PortKey, autoAddr bool, mac openflow.EthAddr, ip openflow.IPAddr, extra ...PortKey) *Builder {
+	locations = append(locations, extra...)
+	if name == "" {
+		return b.errf("host with empty name")
+	}
+	if b.hostSeen[name] {
+		return b.errf("duplicate host %q", name)
+	}
+	if len(locations) == 0 {
+		return b.errf("host %q needs at least one location", name)
+	}
+	for _, loc := range locations {
+		if _, ok := b.swSeen[loc.Sw]; !ok {
+			return b.errf("host %q references undeclared switch %v", name, loc.Sw)
+		}
+	}
+	b.hostSeen[name] = true
+	b.hosts = append(b.hosts, builderHost{
+		name: name, autoAddr: autoAddr, mac: mac, ip: ip,
+		locations: append([]PortKey(nil), locations...),
+	})
+	return b
+}
+
+// AutoEthAddr is the deterministic MAC assigned to the i-th (1-based)
+// auto-addressed host of a Builder: 00:00:00:00:hh:ll with hh:ll = 2i —
+// host 1 gets MACHostA, host 2 MACHostB, host 3 MACHostC.
+func AutoEthAddr(i int) openflow.EthAddr {
+	n := 2 * i
+	return openflow.MakeEthAddr(0, 0, 0, 0, byte(n>>8), byte(n))
+}
+
+// AutoIPAddr is the deterministic IP assigned to the i-th (1-based)
+// auto-addressed host of a Builder: 10.0.hh.ll with hh.ll = i — host 1
+// gets IPHostA (10.0.0.1).
+func AutoIPAddr(i int) openflow.IPAddr {
+	return openflow.MakeIPAddr(10, 0, byte(i>>8), byte(i))
+}
+
+// portTable tracks, per switch, which ports are claimed (explicitly at
+// declaration time or by auto-allocation) and the highest port seen,
+// so auto-sized switches can be materialized.
+type portTable struct {
+	claimed map[openflow.SwitchID]map[openflow.PortID]bool
+	max     map[openflow.SwitchID]openflow.PortID
+}
+
+func (pt *portTable) mark(k PortKey) {
+	if pt.claimed[k.Sw] == nil {
+		pt.claimed[k.Sw] = make(map[openflow.PortID]bool)
+	}
+	pt.claimed[k.Sw][k.Port] = true
+	if k.Port > pt.max[k.Sw] {
+		pt.max[k.Sw] = k.Port
+	}
+}
+
+// claimPort resolves one endpoint declaration against the port table:
+// an explicit port passes through (bounds-checked on fixed-size
+// switches; conflicts with other explicit claims are left for
+// Validate's double-use check); port 0 takes the lowest port not
+// claimed by anyone — explicit declarations included, wherever they
+// appear in the call sequence.
+func (b *Builder) claimPort(pt *portTable, k PortKey, what string) (PortKey, bool) {
+	idx, ok := b.swSeen[k.Sw]
+	if !ok {
+		// Already reported at declaration time.
+		return k, false
+	}
+	sw := &b.switches[idx]
+	if k.Port == 0 {
+		p := openflow.PortID(1)
+		for pt.claimed[k.Sw][p] {
+			p++
+		}
+		if sw.ports != 0 && int(p) > sw.ports {
+			b.errf("%s overflows switch %v (%d ports)", what, sw.id, sw.ports)
+			return k, false
+		}
+		k.Port = p
+	} else if sw.ports != 0 && int(k.Port) > sw.ports {
+		b.errf("%s references unknown port %v", what, k)
+		return k, false
+	}
+	pt.mark(k)
+	return k, true
+}
+
+// Build materializes and validates the topology, reporting every
+// accumulated declaration error at once.
+func (b *Builder) Build() (*Topology, error) {
+	if b.built {
+		return nil, fmt.Errorf("topo: Builder is single-use; Build called twice")
+	}
+	b.built = true
+
+	// Pre-reserve every explicitly declared port, so auto-allocation
+	// never hands one out regardless of declaration order.
+	pt := &portTable{
+		claimed: make(map[openflow.SwitchID]map[openflow.PortID]bool),
+		max:     make(map[openflow.SwitchID]openflow.PortID),
+	}
+	for _, l := range b.links {
+		for _, k := range []PortKey{l.a, l.b} {
+			if k.Port != 0 {
+				pt.mark(k)
+			}
+		}
+	}
+	for _, h := range b.hosts {
+		for _, k := range h.locations {
+			if k.Port != 0 {
+				pt.mark(k)
+			}
+		}
+	}
+
+	// Resolve the remaining ports in declaration order: links first,
+	// then host attachments, so inter-switch wiring gets the low port
+	// numbers (the presets' convention) and host ports follow.
+	resolvedLinks := make([]builderLink, 0, len(b.links))
+	for _, l := range b.links {
+		what := fmt.Sprintf("link %v-%v", l.a.Sw, l.b.Sw)
+		a, okA := b.claimPort(pt, l.a, what)
+		c, okB := b.claimPort(pt, l.b, what)
+		if okA && okB {
+			resolvedLinks = append(resolvedLinks, builderLink{a: a, b: c})
+		}
+	}
+	resolvedHosts := make([]builderHost, 0, len(b.hosts))
+	autoIdx := 0
+	for _, h := range b.hosts {
+		ok := true
+		locs := make([]PortKey, len(h.locations))
+		for i, loc := range h.locations {
+			r, okLoc := b.claimPort(pt, loc, "host "+h.name)
+			locs[i] = r
+			ok = ok && okLoc
+		}
+		if h.autoAddr {
+			autoIdx++
+			h.mac = AutoEthAddr(autoIdx)
+			h.ip = AutoIPAddr(autoIdx)
+		}
+		if ok {
+			h.locations = locs
+			resolvedHosts = append(resolvedHosts, h)
+		}
+	}
+
+	if len(b.errs) > 0 {
+		return nil, errList(b.errs)
+	}
+
+	t := New()
+	for _, sw := range b.switches {
+		ports := sw.ports
+		if ports == 0 {
+			ports = int(pt.max[sw.id])
+			if ports == 0 {
+				ports = 1 // a switch with nothing attached still has a port
+			}
+		}
+		t.AddSwitch(sw.id, ports)
+	}
+	for _, l := range resolvedLinks {
+		t.AddLink(l.a, l.b)
+	}
+	for _, h := range resolvedHosts {
+		t.AddHost(h.name, h.mac, h.ip, h.locations...)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build panicking on error (generator and test
+// convenience).
+func (b *Builder) MustBuild() *Topology {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// errList flattens accumulated builder errors into one error.
+type errList []error
+
+func (e errList) Error() string {
+	if len(e) == 1 {
+		return e[0].Error()
+	}
+	s := fmt.Sprintf("topo: %d invalid declarations:", len(e))
+	for _, err := range e {
+		s += "\n\t" + err.Error()
+	}
+	return s
+}

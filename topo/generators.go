@@ -1,0 +1,170 @@
+package topo
+
+import (
+	"fmt"
+
+	"github.com/nice-go/nice/openflow"
+)
+
+// Parameterized topology generators: scalable families of well-formed
+// topologies for scenario campaigns (the "as many scenarios as you can
+// imagine" axis). Each generator validates its parameters, builds
+// through the fluent Builder (auto ports, deterministic auto MAC/IP
+// addresses) and returns the topology plus the generated host IDs in
+// name order h1, h2, … — so scenarios can address "the i-th host"
+// without caring about the wiring.
+
+// Star builds a hub-and-spoke topology: one switch (ID 1) with n ≥ 2
+// attached hosts on ports 1..n. Host names default to h1..hn; pass
+// explicit names (exactly n of them) to override — e.g. the
+// load-balancer scenarios name host 1 "client" and the rest "r1"…
+func Star(n int, names ...string) (*Topology, []openflow.HostID) {
+	if n < 2 {
+		panic(fmt.Sprintf("topo: Star(%d) needs at least two hosts", n))
+	}
+	if len(names) != 0 && len(names) != n {
+		panic(fmt.Sprintf("topo: Star(%d) got %d names, want %d", n, len(names), n))
+	}
+	b := NewBuilder().Switch(1, 0)
+	for i := 1; i <= n; i++ {
+		b.Host(hostName(names, i), 1)
+	}
+	t := b.MustBuild()
+	return t, hostIDs(t, names, n)
+}
+
+// Mesh builds n ≥ 2 switches (IDs 1..n) in a full mesh, with one host
+// per switch (hi on switch i). Inter-switch links take the low port
+// numbers; the host port is each switch's highest.
+func Mesh(n int, names ...string) (*Topology, []openflow.HostID) {
+	if n < 2 {
+		panic(fmt.Sprintf("topo: Mesh(%d) needs at least two switches", n))
+	}
+	if len(names) != 0 && len(names) != n {
+		panic(fmt.Sprintf("topo: Mesh(%d) got %d names, want %d", n, len(names), n))
+	}
+	b := NewBuilder().Switches(n, 0)
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			b.Connect(openflow.SwitchID(i), openflow.SwitchID(j))
+		}
+	}
+	for i := 1; i <= n; i++ {
+		b.Host(hostName(names, i), openflow.SwitchID(i))
+	}
+	t := b.MustBuild()
+	return t, hostIDs(t, names, n)
+}
+
+// LinearHosts generalizes the Figure 1 line: `switches` switches in a
+// row with `hostsPerSwitch` hosts attached to each. Hosts are named
+// h1..hN in switch-major order (h1..hH on switch 1, then switch 2, …).
+// LinearHosts(2, 1) is the paper's A—s1—s2—B shape with generated
+// names/addresses.
+func LinearHosts(switches, hostsPerSwitch int) (*Topology, []openflow.HostID) {
+	if switches < 1 {
+		panic(fmt.Sprintf("topo: LinearHosts(%d, %d) needs at least one switch", switches, hostsPerSwitch))
+	}
+	if hostsPerSwitch < 1 {
+		panic(fmt.Sprintf("topo: LinearHosts(%d, %d) needs at least one host per switch", switches, hostsPerSwitch))
+	}
+	b := NewBuilder().Switches(switches, 0)
+	for i := 1; i < switches; i++ {
+		b.Connect(openflow.SwitchID(i), openflow.SwitchID(i+1))
+	}
+	n := 0
+	for sw := 1; sw <= switches; sw++ {
+		for j := 0; j < hostsPerSwitch; j++ {
+			n++
+			b.Host(hostName(nil, n), openflow.SwitchID(sw))
+		}
+	}
+	t := b.MustBuild()
+	return t, hostIDs(t, nil, n)
+}
+
+// FatTree builds the standard k-ary fat tree (Al-Fares et al.): k pods
+// of k/2 aggregation and k/2 edge switches, (k/2)² core switches, and
+// k/2 hosts per edge switch — 5k²/4 switches and k³/4 hosts in total.
+// k must be even and ≥ 2. Unlike the loop-free presets, a fat tree has
+// rich path redundancy, so flooding controllers are exposed to
+// forwarding loops at scale.
+//
+// Switch IDs: core 1..(k/2)²; then per pod p (0-based) k/2 aggregation
+// switches followed by k/2 edge switches. Aggregation switch a (0-based
+// in its pod) uplinks to core switches a·(k/2)+1 .. a·(k/2)+k/2.
+func FatTree(k int) (*Topology, []openflow.HostID) {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: FatTree(%d) needs an even k ≥ 2", k))
+	}
+	half := k / 2
+	numCore := half * half
+	b := NewBuilder()
+	for c := 1; c <= numCore; c++ {
+		b.Switch(openflow.SwitchID(c), 0)
+	}
+	aggrID := func(pod, a int) openflow.SwitchID {
+		return openflow.SwitchID(numCore + pod*k + a + 1)
+	}
+	edgeID := func(pod, e int) openflow.SwitchID {
+		return openflow.SwitchID(numCore + pod*k + half + e + 1)
+	}
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			b.Switch(aggrID(pod, a), 0)
+		}
+		for e := 0; e < half; e++ {
+			b.Switch(edgeID(pod, e), 0)
+		}
+	}
+	// Core ↔ aggregation: aggregation switch a of every pod covers the
+	// a-th group of k/2 core switches.
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				b.Connect(openflow.SwitchID(a*half+c+1), aggrID(pod, a))
+			}
+		}
+	}
+	// Aggregation ↔ edge: full bipartite graph within each pod.
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			for e := 0; e < half; e++ {
+				b.Connect(aggrID(pod, a), edgeID(pod, e))
+			}
+		}
+	}
+	// Hosts: k/2 per edge switch, in pod-major order.
+	n := 0
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				n++
+				b.Host(hostName(nil, n), edgeID(pod, e))
+			}
+		}
+	}
+	t := b.MustBuild()
+	return t, hostIDs(t, nil, n)
+}
+
+// hostName picks the i-th (1-based) generated host name.
+func hostName(names []string, i int) string {
+	if len(names) >= i {
+		return names[i-1]
+	}
+	return fmt.Sprintf("h%d", i)
+}
+
+// hostIDs resolves the generated hosts' IDs in name order.
+func hostIDs(t *Topology, names []string, n int) []openflow.HostID {
+	ids := make([]openflow.HostID, n)
+	for i := 1; i <= n; i++ {
+		h, ok := t.HostByName(hostName(names, i))
+		if !ok {
+			panic("topo: generated host missing: " + hostName(names, i))
+		}
+		ids[i-1] = h.ID
+	}
+	return ids
+}

@@ -1,0 +1,270 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nice-go/nice/openflow"
+)
+
+// checkWellFormed asserts the structural invariants every generated
+// topology must satisfy: Validate passes, every link's peer mapping is
+// symmetric, every port referenced by a link or host exists on its
+// switch, and the switch graph is connected.
+func checkWellFormed(t *testing.T, tp *Topology) {
+	t.Helper()
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	hasPort := func(k PortKey) bool {
+		for _, p := range tp.Switch(k.Sw).Ports {
+			if p == k.Port {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range tp.Links() {
+		if !hasPort(l.A) || !hasPort(l.B) {
+			t.Fatalf("link %v-%v references missing port", l.A, l.B)
+		}
+		if p, ok := tp.Peer(l.A); !ok || p != l.B {
+			t.Fatalf("peer(%v) = %v, %v; want %v", l.A, p, ok, l.B)
+		}
+		if p, ok := tp.Peer(l.B); !ok || p != l.A {
+			t.Fatalf("peer(%v) = %v, %v; want %v", l.B, p, ok, l.A)
+		}
+	}
+	for _, h := range tp.Hosts() {
+		for _, loc := range h.Locations {
+			if !hasPort(loc) {
+				t.Fatalf("host %s location %v references missing port", h.Name, loc)
+			}
+		}
+	}
+	sws := tp.Switches()
+	for _, sw := range sws {
+		if path := tp.ShortestPath(sws[0].ID, sw.ID); path == nil {
+			t.Fatalf("switch %v unreachable from %v", sw.ID, sws[0].ID)
+		}
+	}
+}
+
+func TestStarWellFormed(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 16} {
+		tp, ids := Star(n)
+		checkWellFormed(t, tp)
+		if got := len(tp.Switches()); got != 1 {
+			t.Errorf("Star(%d): %d switches, want 1", n, got)
+		}
+		if got := len(tp.Hosts()); got != n {
+			t.Errorf("Star(%d): %d hosts, want %d", n, got, n)
+		}
+		if len(ids) != n {
+			t.Fatalf("Star(%d): %d host IDs, want %d", n, len(ids), n)
+		}
+		// All hosts hang off the single hub switch.
+		for _, id := range ids {
+			if sw := tp.Host(id).Locations[0].Sw; sw != 1 {
+				t.Errorf("Star(%d): host %v on switch %v, want 1", n, id, sw)
+			}
+		}
+	}
+}
+
+func TestStarNamesOverride(t *testing.T) {
+	tp, ids := Star(3, "client", "r1", "r2")
+	checkWellFormed(t, tp)
+	if h := tp.Host(ids[0]); h.Name != "client" {
+		t.Errorf("host 0 named %q, want client", h.Name)
+	}
+	if _, ok := tp.HostByName("r2"); !ok {
+		t.Error("host r2 missing")
+	}
+}
+
+func TestMeshWellFormed(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6} {
+		tp, ids := Mesh(n)
+		checkWellFormed(t, tp)
+		if got := len(tp.Switches()); got != n {
+			t.Errorf("Mesh(%d): %d switches, want %d", n, got, n)
+		}
+		if got, want := len(tp.Links()), n*(n-1)/2; got != want {
+			t.Errorf("Mesh(%d): %d links, want %d", n, got, want)
+		}
+		if len(ids) != n {
+			t.Fatalf("Mesh(%d): %d hosts, want %d", n, len(ids), n)
+		}
+		// Every switch pair is directly linked.
+		for i := 1; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				if _, ok := tp.LinkPort(openflow.SwitchID(i), openflow.SwitchID(j)); !ok {
+					t.Errorf("Mesh(%d): no link %d-%d", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestLinearHostsWellFormed(t *testing.T) {
+	for _, tc := range []struct{ sw, per int }{{1, 1}, {2, 1}, {3, 2}, {4, 3}} {
+		tp, ids := LinearHosts(tc.sw, tc.per)
+		checkWellFormed(t, tp)
+		if got := len(tp.Switches()); got != tc.sw {
+			t.Errorf("LinearHosts(%d,%d): %d switches", tc.sw, tc.per, got)
+		}
+		if want := tc.sw * tc.per; len(ids) != want {
+			t.Errorf("LinearHosts(%d,%d): %d hosts, want %d", tc.sw, tc.per, len(ids), want)
+		}
+		if got, want := len(tp.Links()), tc.sw-1; got != want {
+			t.Errorf("LinearHosts(%d,%d): %d links, want %d", tc.sw, tc.per, got, want)
+		}
+		// Host i sits on switch ceil(i/per), in switch-major order.
+		for i, id := range ids {
+			want := openflow.SwitchID(i/tc.per + 1)
+			if sw := tp.Host(id).Locations[0].Sw; sw != want {
+				t.Errorf("LinearHosts(%d,%d): host %d on switch %v, want %v", tc.sw, tc.per, i+1, sw, want)
+			}
+		}
+	}
+}
+
+func TestFatTreeCounts(t *testing.T) {
+	for _, k := range []int{2, 4, 6} {
+		tp, ids := FatTree(k)
+		checkWellFormed(t, tp)
+		if got, want := len(tp.Switches()), 5*k*k/4; got != want {
+			t.Errorf("FatTree(%d): %d switches, want %d", k, got, want)
+		}
+		if got, want := len(ids), k*k*k/4; got != want {
+			t.Errorf("FatTree(%d): %d hosts, want %d", k, got, want)
+		}
+		// Total links: core-aggr k·(k/2)·(k/2) + aggr-edge k·(k/2)·(k/2).
+		if got, want := len(tp.Links()), 2*k*(k/2)*(k/2); got != want {
+			t.Errorf("FatTree(%d): %d links, want %d", k, got, want)
+		}
+	}
+}
+
+func TestFatTreePathDiversity(t *testing.T) {
+	tp, ids := FatTree(4)
+	// Hosts in different pods are 5 switch hops apart (edge, aggr,
+	// core, aggr, edge); hosts on the same edge switch share it.
+	first := tp.Host(ids[0]).Locations[0].Sw
+	last := tp.Host(ids[len(ids)-1]).Locations[0].Sw
+	if path := tp.ShortestPath(first, last); len(path) != 5 {
+		t.Errorf("cross-pod path %v, want 5 switches", path)
+	}
+	if a, b := tp.Host(ids[0]).Locations[0].Sw, tp.Host(ids[1]).Locations[0].Sw; a != b {
+		t.Errorf("hosts 1 and 2 on %v and %v, want same edge switch", a, b)
+	}
+}
+
+func TestGeneratorParameterValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Star(1)":            func() { Star(1) },
+		"Star names":         func() { Star(3, "only-one") },
+		"Mesh(1)":            func() { Mesh(1) },
+		"LinearHosts(0,1)":   func() { LinearHosts(0, 1) },
+		"LinearHosts(1,0)":   func() { LinearHosts(1, 0) },
+		"FatTree(3) odd":     func() { FatTree(3) },
+		"FatTree(0) too few": func() { FatTree(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBuilderAccumulatesErrors(t *testing.T) {
+	_, err := NewBuilder().
+		Switch(1, 2).
+		Switch(1, 2).              // duplicate switch
+		Connect(1, 9).             // undeclared switch
+		Host("", 1).               // empty name
+		Host("a", 1).Host("a", 1). // duplicate host
+		Host("b", 7).              // undeclared switch
+		Build()
+	if err == nil {
+		t.Fatal("Build: no error")
+	}
+	for _, want := range []string{"duplicate switch", "undeclared switch s9", "empty name", `duplicate host "a"`, "undeclared switch s7"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestBuilderFixedPortOverflow(t *testing.T) {
+	_, err := NewBuilder().
+		Switch(1, 1).
+		Host("a", 1).
+		Host("b", 1). // second attachment overflows the 1-port switch
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("Build err = %v, want overflow", err)
+	}
+}
+
+// TestBuilderAutoAvoidsExplicitPorts: auto-allocation must skip ports
+// explicitly reserved anywhere in the declaration sequence — including
+// reservations made after the auto-allocating call.
+func TestBuilderAutoAvoidsExplicitPorts(t *testing.T) {
+	tp, err := NewBuilder().
+		Switch(1, 0).Switch(2, 0).
+		HostAt("a", PortKey{Sw: 1, Port: 1}). // reserves s1:p1 before Connect runs
+		Connect(1, 2).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	checkWellFormed(t, tp)
+	a, _ := tp.HostByName("a")
+	if a.Locations[0].Port != 1 {
+		t.Errorf("host a on port %v, want the explicitly reserved 1", a.Locations[0].Port)
+	}
+	if p, ok := tp.LinkPort(1, 2); !ok || p != 2 {
+		t.Errorf("link on switch 1 uses port %v, want 2 (skipping the host's port)", p)
+	}
+}
+
+func TestBuilderSingleUse(t *testing.T) {
+	b := NewBuilder().Switch(1, 0).Host("a", 1)
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("first Build: %v", err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("second Build: no error")
+	}
+}
+
+func TestBuilderExplicitAndAutoPorts(t *testing.T) {
+	tp, err := NewBuilder().
+		Switch(1, 0).Switch(2, 0).
+		LinkAt(PortKey{Sw: 1, Port: 2}, PortKey{Sw: 2}).
+		Host("a", 1). // auto-allocates around the explicit port 2
+		Host("b", 2).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	checkWellFormed(t, tp)
+	a, _ := tp.HostByName("a")
+	if a.Locations[0].Port != 1 {
+		t.Errorf("host a on port %v, want 1 (lowest free beside the explicit link port 2)", a.Locations[0].Port)
+	}
+	// Auto addresses follow the preset convention.
+	if a.MAC != MACHostA || a.IP != IPHostA {
+		t.Errorf("host a addr %v/%v, want MACHostA/IPHostA", a.MAC, a.IP)
+	}
+	b2, _ := tp.HostByName("b")
+	if b2.MAC != MACHostB || b2.IP != IPHostB {
+		t.Errorf("host b addr %v/%v, want MACHostB/IPHostB", b2.MAC, b2.IP)
+	}
+}

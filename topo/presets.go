@@ -1,0 +1,114 @@
+package topo
+
+import "github.com/nice-go/nice/openflow"
+
+// Well-known host addresses used across examples and tests. MACs are
+// unicast (group bit clear) so MAC-learning code paths behave as in the
+// paper's Figure 3 walk-through.
+var (
+	MACHostA = openflow.MakeEthAddr(0x00, 0x00, 0x00, 0x00, 0x00, 0x02)
+	MACHostB = openflow.MakeEthAddr(0x00, 0x00, 0x00, 0x00, 0x00, 0x04)
+	MACHostC = openflow.MakeEthAddr(0x00, 0x00, 0x00, 0x00, 0x00, 0x06)
+
+	IPHostA = openflow.MakeIPAddr(10, 0, 0, 1)
+	IPHostB = openflow.MakeIPAddr(10, 0, 0, 2)
+	IPHostC = openflow.MakeIPAddr(10, 0, 0, 3)
+)
+
+// Linear builds the Figure 1 topology generalized to n switches in a
+// line: host A on switch 1, host B on switch n. Port 1 of every switch
+// faces "left" (host A or the previous switch); port 2 faces "right".
+//
+//	A — s1 — s2 — … — sn — B
+func Linear(n int) (*Topology, openflow.HostID, openflow.HostID) {
+	if n < 1 {
+		panic("topo: Linear needs at least one switch")
+	}
+	t := New()
+	for i := 1; i <= n; i++ {
+		t.AddSwitch(openflow.SwitchID(i), 2)
+	}
+	for i := 1; i < n; i++ {
+		t.AddLink(
+			PortKey{Sw: openflow.SwitchID(i), Port: 2},
+			PortKey{Sw: openflow.SwitchID(i + 1), Port: 1},
+		)
+	}
+	a := t.AddHost("A", MACHostA, IPHostA, PortKey{Sw: 1, Port: 1})
+	b := t.AddHost("B", MACHostB, IPHostB, PortKey{Sw: openflow.SwitchID(n), Port: 2})
+	return t.MustValidate(), a, b
+}
+
+// SingleSwitch builds one switch with hosts A and B on ports 1 and 2 —
+// the smallest useful MAC-learning scenario (BUG-II's setting).
+func SingleSwitch() (*Topology, openflow.HostID, openflow.HostID) {
+	t := New()
+	t.AddSwitch(1, 2)
+	a := t.AddHost("A", MACHostA, IPHostA, PortKey{Sw: 1, Port: 1})
+	b := t.AddHost("B", MACHostB, IPHostB, PortKey{Sw: 1, Port: 2})
+	return t.MustValidate(), a, b
+}
+
+// SingleSwitchMobile is SingleSwitch with a third port that host B can
+// move to — BUG-I's setting (host unreachable after moving).
+func SingleSwitchMobile() (*Topology, openflow.HostID, openflow.HostID) {
+	t := New()
+	t.AddSwitch(1, 3)
+	a := t.AddHost("A", MACHostA, IPHostA, PortKey{Sw: 1, Port: 1})
+	b := t.AddHost("B", MACHostB, IPHostB,
+		PortKey{Sw: 1, Port: 2}, PortKey{Sw: 1, Port: 3})
+	return t.MustValidate(), a, b
+}
+
+// Cycle builds n≥3 switches in a ring with hosts A and B on switches 1
+// and 2 — BUG-III's setting (flooding loops forever without a spanning
+// tree). Port layout per switch: 1=host/unused, 2=clockwise, 3=counter-
+// clockwise.
+func Cycle(n int) (*Topology, openflow.HostID, openflow.HostID) {
+	if n < 3 {
+		panic("topo: Cycle needs at least three switches")
+	}
+	t := New()
+	for i := 1; i <= n; i++ {
+		t.AddSwitch(openflow.SwitchID(i), 3)
+	}
+	for i := 1; i <= n; i++ {
+		next := i%n + 1
+		t.AddLink(
+			PortKey{Sw: openflow.SwitchID(i), Port: 2},
+			PortKey{Sw: openflow.SwitchID(next), Port: 3},
+		)
+	}
+	a := t.AddHost("A", MACHostA, IPHostA, PortKey{Sw: 1, Port: 1})
+	b := t.AddHost("B", MACHostB, IPHostB, PortKey{Sw: 2, Port: 1})
+	return t.MustValidate(), a, b
+}
+
+// LoadBalancer builds the §8.2 test setting: one client and two server
+// replicas on a single switch. Ports: 1=client, 2=server R1, 3=server R2.
+func LoadBalancer() (*Topology, openflow.HostID, openflow.HostID, openflow.HostID) {
+	t := New()
+	t.AddSwitch(1, 3)
+	client := t.AddHost("client", MACHostA, IPHostA, PortKey{Sw: 1, Port: 1})
+	r1 := t.AddHost("r1", MACHostB, openflow.MakeIPAddr(10, 0, 1, 1), PortKey{Sw: 1, Port: 2})
+	r2 := t.AddHost("r2", MACHostC, openflow.MakeIPAddr(10, 0, 1, 2), PortKey{Sw: 1, Port: 3})
+	return t.MustValidate(), client, r1, r2
+}
+
+// Triangle builds the §8.3 TE test setting: three switches in a triangle,
+// a sender on switch 1 and two receivers on switch 2; switch 3 lies on
+// the on-demand path. Port layout: s1: 1=hostS 2=→s2 3=→s3;
+// s2: 1=hostR1 2=→s1 3=→s3 4=hostR2; s3: 1=→s1 2=→s2.
+func Triangle() (*Topology, openflow.HostID, openflow.HostID, openflow.HostID) {
+	t := New()
+	t.AddSwitch(1, 3)
+	t.AddSwitch(2, 4)
+	t.AddSwitch(3, 2)
+	t.AddLink(PortKey{Sw: 1, Port: 2}, PortKey{Sw: 2, Port: 2})
+	t.AddLink(PortKey{Sw: 1, Port: 3}, PortKey{Sw: 3, Port: 1})
+	t.AddLink(PortKey{Sw: 3, Port: 2}, PortKey{Sw: 2, Port: 3})
+	s := t.AddHost("S", MACHostA, IPHostA, PortKey{Sw: 1, Port: 1})
+	r1 := t.AddHost("R1", MACHostB, IPHostB, PortKey{Sw: 2, Port: 1})
+	r2 := t.AddHost("R2", MACHostC, IPHostC, PortKey{Sw: 2, Port: 4})
+	return t.MustValidate(), s, r1, r2
+}

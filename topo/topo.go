@@ -1,0 +1,280 @@
+// Package topo describes the modelled network: switches with ports, end
+// hosts with addresses and (possibly several) attachment points, and
+// links. A Topology is the static input NICE takes alongside the
+// controller program and the correctness properties (§1.3); dynamic state
+// (host locations after moves, link health) lives in the model checker's
+// system state.
+//
+// Topologies come from three construction surfaces, smallest to
+// largest: the paper's preset shapes (presets.go — Linear,
+// SingleSwitch, Cycle, LoadBalancer, Triangle), the fluent
+// error-accumulating Builder (builder.go) for custom wiring, and the
+// parameterized generators (generators.go — Star, Mesh, FatTree,
+// LinearHosts) for scalable scenario families.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nice-go/nice/openflow"
+)
+
+// PortKey names one switch port.
+type PortKey struct {
+	Sw   openflow.SwitchID
+	Port openflow.PortID
+}
+
+func (k PortKey) String() string { return fmt.Sprintf("%v:%v", k.Sw, k.Port) }
+
+// Host is an end host: a MAC/IP identity plus the ordered list of
+// attachment points it may occupy. Locations[0] is the initial location;
+// the mobile-host model's move transition steps through the rest
+// (§2.2.3).
+type Host struct {
+	ID        openflow.HostID
+	Name      string
+	MAC       openflow.EthAddr
+	IP        openflow.IPAddr
+	Locations []PortKey
+}
+
+// SwitchSpec declares a switch and its port set.
+type SwitchSpec struct {
+	ID    openflow.SwitchID
+	Ports []openflow.PortID
+}
+
+// Link is an undirected switch-to-switch link.
+type Link struct {
+	A, B PortKey
+}
+
+// Topology is an immutable network description. Build it with the Add*
+// methods, then Validate (or via the preset constructors in presets.go).
+type Topology struct {
+	switches map[openflow.SwitchID]*SwitchSpec
+	hosts    map[openflow.HostID]*Host
+	links    []Link
+
+	// peer maps a switch port to the far end of its switch-switch link.
+	peer map[PortKey]PortKey
+
+	nextHost openflow.HostID
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{
+		switches: make(map[openflow.SwitchID]*SwitchSpec),
+		hosts:    make(map[openflow.HostID]*Host),
+		peer:     make(map[PortKey]PortKey),
+		nextHost: 1,
+	}
+}
+
+// AddSwitch declares a switch with ports 1..numPorts.
+func (t *Topology) AddSwitch(id openflow.SwitchID, numPorts int) *Topology {
+	if _, dup := t.switches[id]; dup {
+		panic(fmt.Sprintf("topo: duplicate switch %v", id))
+	}
+	ports := make([]openflow.PortID, numPorts)
+	for i := range ports {
+		ports[i] = openflow.PortID(i + 1)
+	}
+	t.switches[id] = &SwitchSpec{ID: id, Ports: ports}
+	return t
+}
+
+// AddHost attaches a named host. locations[0] is the initial attachment;
+// extra locations become mobile-host move targets. The host's MAC/IP are
+// part of the checker's domain knowledge for symbolic packets (§3.2).
+func (t *Topology) AddHost(name string, mac openflow.EthAddr, ip openflow.IPAddr, locations ...PortKey) openflow.HostID {
+	if len(locations) == 0 {
+		panic("topo: host needs at least one location")
+	}
+	id := t.nextHost
+	t.nextHost++
+	t.hosts[id] = &Host{
+		ID: id, Name: name, MAC: mac, IP: ip,
+		Locations: append([]PortKey(nil), locations...),
+	}
+	return id
+}
+
+// AddLink connects two switch ports with a bidirectional link.
+func (t *Topology) AddLink(a, b PortKey) *Topology {
+	t.links = append(t.links, Link{A: a, B: b})
+	t.peer[a] = b
+	t.peer[b] = a
+	return t
+}
+
+// Validate checks structural consistency: referenced switches and ports
+// exist and no port is used by both a link and a host or twice.
+func (t *Topology) Validate() error {
+	used := make(map[PortKey]string)
+	claim := func(k PortKey, what string) error {
+		sw, ok := t.switches[k.Sw]
+		if !ok {
+			return fmt.Errorf("topo: %s references unknown switch %v", what, k.Sw)
+		}
+		found := false
+		for _, p := range sw.Ports {
+			if p == k.Port {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("topo: %s references unknown port %v", what, k)
+		}
+		if prev, dup := used[k]; dup {
+			return fmt.Errorf("topo: port %v used by both %s and %s", k, prev, what)
+		}
+		used[k] = what
+		return nil
+	}
+	for _, l := range t.links {
+		if err := claim(l.A, fmt.Sprintf("link %v-%v", l.A, l.B)); err != nil {
+			return err
+		}
+		if err := claim(l.B, fmt.Sprintf("link %v-%v", l.A, l.B)); err != nil {
+			return err
+		}
+	}
+	for _, h := range t.Hosts() {
+		// Only the initial location claims the port exclusively; move
+		// targets may be vacant ports that another host could also
+		// name (not used by our scenarios but harmless).
+		if err := claim(h.Locations[0], "host "+h.Name); err != nil {
+			return err
+		}
+		for _, loc := range h.Locations[1:] {
+			if _, ok := t.switches[loc.Sw]; !ok {
+				return fmt.Errorf("topo: host %s move target references unknown switch %v", h.Name, loc.Sw)
+			}
+		}
+	}
+	return nil
+}
+
+// MustValidate panics on an invalid topology (builder convenience).
+func (t *Topology) MustValidate() *Topology {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Switches returns switch specs sorted by ID.
+func (t *Topology) Switches() []*SwitchSpec {
+	out := make([]*SwitchSpec, 0, len(t.switches))
+	for _, s := range t.switches {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Hosts returns hosts sorted by ID.
+func (t *Topology) Hosts() []*Host {
+	out := make([]*Host, 0, len(t.hosts))
+	for _, h := range t.hosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Host returns the host with the given ID.
+func (t *Topology) Host(id openflow.HostID) *Host {
+	h, ok := t.hosts[id]
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown host %v", id))
+	}
+	return h
+}
+
+// HostByName finds a host by its name.
+func (t *Topology) HostByName(name string) (*Host, bool) {
+	for _, h := range t.hosts {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// Switch returns the spec for a switch ID.
+func (t *Topology) Switch(id openflow.SwitchID) *SwitchSpec {
+	s, ok := t.switches[id]
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown switch %v", id))
+	}
+	return s
+}
+
+// Links returns all switch-switch links.
+func (t *Topology) Links() []Link { return t.links }
+
+// Peer returns the far end of the switch-switch link attached to k.
+func (t *Topology) Peer(k PortKey) (PortKey, bool) {
+	p, ok := t.peer[k]
+	return p, ok
+}
+
+// ShortestPath returns the switch sequence of a shortest path from one
+// switch to another (BFS over links), or nil if disconnected. Controller
+// applications use it to compute routing tables.
+func (t *Topology) ShortestPath(from, to openflow.SwitchID) []openflow.SwitchID {
+	if from == to {
+		return []openflow.SwitchID{from}
+	}
+	adj := make(map[openflow.SwitchID][]openflow.SwitchID)
+	for _, l := range t.links {
+		adj[l.A.Sw] = append(adj[l.A.Sw], l.B.Sw)
+		adj[l.B.Sw] = append(adj[l.B.Sw], l.A.Sw)
+	}
+	for _, ns := range adj {
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	prev := map[openflow.SwitchID]openflow.SwitchID{from: from}
+	queue := []openflow.SwitchID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			prev[nb] = cur
+			if nb == to {
+				var path []openflow.SwitchID
+				for at := to; ; at = prev[at] {
+					path = append([]openflow.SwitchID{at}, path...)
+					if at == from {
+						return path
+					}
+				}
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// LinkPort returns the port on sw that leads to neighbour next, or false
+// if no direct link exists.
+func (t *Topology) LinkPort(sw, next openflow.SwitchID) (openflow.PortID, bool) {
+	for _, l := range t.links {
+		if l.A.Sw == sw && l.B.Sw == next {
+			return l.A.Port, true
+		}
+		if l.B.Sw == sw && l.A.Sw == next {
+			return l.B.Port, true
+		}
+	}
+	return openflow.PortNone, false
+}

@@ -1,0 +1,153 @@
+package topo
+
+import (
+	"testing"
+
+	"github.com/nice-go/nice/openflow"
+)
+
+func TestBuilderAndQueries(t *testing.T) {
+	tp := New()
+	tp.AddSwitch(1, 2).AddSwitch(2, 2)
+	tp.AddLink(PortKey{Sw: 1, Port: 2}, PortKey{Sw: 2, Port: 1})
+	a := tp.AddHost("A", MACHostA, IPHostA, PortKey{Sw: 1, Port: 1})
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.Host(a).Name; got != "A" {
+		t.Errorf("host name %q", got)
+	}
+	if h, ok := tp.HostByName("A"); !ok || h.ID != a {
+		t.Error("HostByName failed")
+	}
+	if _, ok := tp.HostByName("Z"); ok {
+		t.Error("found a ghost host")
+	}
+	peer, ok := tp.Peer(PortKey{Sw: 1, Port: 2})
+	if !ok || peer != (PortKey{Sw: 2, Port: 1}) {
+		t.Errorf("peer = %v, %t", peer, ok)
+	}
+	if _, ok := tp.Peer(PortKey{Sw: 1, Port: 1}); ok {
+		t.Error("host port has a switch peer")
+	}
+	if len(tp.Switches()) != 2 || tp.Switches()[0].ID != 1 {
+		t.Error("switch enumeration wrong")
+	}
+}
+
+func TestValidateCatchesBadReferences(t *testing.T) {
+	tp := New()
+	tp.AddSwitch(1, 1)
+	tp.AddLink(PortKey{Sw: 1, Port: 1}, PortKey{Sw: 9, Port: 1})
+	if err := tp.Validate(); err == nil {
+		t.Error("unknown switch not caught")
+	}
+
+	tp2 := New()
+	tp2.AddSwitch(1, 1)
+	tp2.AddHost("A", MACHostA, IPHostA, PortKey{Sw: 1, Port: 5})
+	if err := tp2.Validate(); err == nil {
+		t.Error("unknown port not caught")
+	}
+
+	tp3 := New()
+	tp3.AddSwitch(1, 2).AddSwitch(2, 2)
+	tp3.AddLink(PortKey{Sw: 1, Port: 1}, PortKey{Sw: 2, Port: 1})
+	tp3.AddHost("A", MACHostA, IPHostA, PortKey{Sw: 1, Port: 1})
+	if err := tp3.Validate(); err == nil {
+		t.Error("port double-use not caught")
+	}
+}
+
+func TestDuplicateSwitchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate switch did not panic")
+		}
+	}()
+	New().AddSwitch(1, 1).AddSwitch(1, 1)
+}
+
+func TestShortestPath(t *testing.T) {
+	tp, _, _, _ := Triangle()
+	p := tp.ShortestPath(1, 2)
+	if len(p) != 2 || p[0] != 1 || p[1] != 2 {
+		t.Errorf("direct path = %v", p)
+	}
+	if got := tp.ShortestPath(1, 1); len(got) != 1 {
+		t.Errorf("self path = %v", got)
+	}
+	// Disconnected node.
+	tp2 := New()
+	tp2.AddSwitch(1, 1).AddSwitch(2, 1)
+	if tp2.ShortestPath(1, 2) != nil {
+		t.Error("found a path in a disconnected graph")
+	}
+}
+
+func TestShortestPathMultiHop(t *testing.T) {
+	tp, _, _ := Linear(4)
+	p := tp.ShortestPath(1, 4)
+	if len(p) != 4 {
+		t.Fatalf("path = %v", p)
+	}
+	for i, sw := range p {
+		if sw != openflow.SwitchID(i+1) {
+			t.Fatalf("path = %v", p)
+		}
+	}
+}
+
+func TestLinkPort(t *testing.T) {
+	tp, _, _, _ := Triangle()
+	if p, ok := tp.LinkPort(1, 2); !ok || p != 2 {
+		t.Errorf("LinkPort(1,2) = %v, %t", p, ok)
+	}
+	if p, ok := tp.LinkPort(2, 1); !ok || p != 2 {
+		t.Errorf("LinkPort(2,1) = %v, %t", p, ok)
+	}
+	if _, ok := tp.LinkPort(1, 99); ok {
+		t.Error("found a link to nowhere")
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	if tp, a, b := Linear(2); a == b || tp == nil {
+		t.Error("Linear preset broken")
+	}
+	if tp, a, b := SingleSwitch(); a == b || tp == nil {
+		t.Error("SingleSwitch preset broken")
+	}
+	if tp, _, b := SingleSwitchMobile(); tp == nil || len(tp.Host(b).Locations) != 2 {
+		t.Error("SingleSwitchMobile preset broken")
+	}
+	if tp, _, _ := Cycle(3); len(tp.Links()) != 3 {
+		t.Error("Cycle preset broken")
+	}
+	if tp, c, r1, r2 := LoadBalancer(); tp == nil || c == r1 || r1 == r2 {
+		t.Error("LoadBalancer preset broken")
+	}
+	if tp, s, r1, r2 := Triangle(); tp == nil || s == r1 || r1 == r2 {
+		t.Error("Triangle preset broken")
+	}
+}
+
+func TestTriangleWiring(t *testing.T) {
+	tp, _, _, _ := Triangle()
+	// s1→s3→s2 is the on-demand detour.
+	if p := tp.ShortestPath(1, 3); len(p) != 2 {
+		t.Errorf("s1-s3 path = %v", p)
+	}
+	if p := tp.ShortestPath(3, 2); len(p) != 2 {
+		t.Errorf("s3-s2 path = %v", p)
+	}
+}
+
+func TestCyclePanicsBelowThree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycle(2) did not panic")
+		}
+	}()
+	Cycle(2)
+}
