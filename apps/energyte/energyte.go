@@ -110,6 +110,12 @@ type App struct {
 	UseBarriers bool
 	// pending holds packets awaiting barrier acknowledgments.
 	pending []pendingRelease
+
+	// borrowed marks flows and pending as shared with the instance this
+	// one was forked from (controller.ForkableApp); the first mutation
+	// of either copies both. Scalar fields need no guard — Fork copies
+	// the struct.
+	borrowed bool
 }
 
 // pendingRelease is one parked packet: where it is buffered, how to
@@ -135,7 +141,10 @@ func New(fix FixLevel, t *topo.Topology, threshold uint64, polls int) *App {
 // Name implements controller.App.
 func (a *App) Name() string { return fmt.Sprintf("energyte(fix=%d)", int(a.fix)) }
 
-// Clone implements controller.App.
+// Clone implements controller.App with a full deep copy (used by
+// discover_packets / discover_stats throwaway handler runs and the
+// deep-clone reference path; the checker's copy-on-write fast path uses
+// Fork).
 func (a *App) Clone() controller.App {
 	c := *a
 	c.flows = make(map[openflow.Flow]Path, len(a.flows))
@@ -151,7 +160,42 @@ func (a *App) Clone() controller.App {
 		p.Waiting = w
 		c.pending[i] = p
 	}
+	c.borrowed = false
 	return &c
+}
+
+// Fork implements controller.ForkableApp: an O(1) copy borrowing the
+// flow table and the pending-release queue; ensureOwned deep-copies
+// both before the first mutation on the fork. The receiver must be
+// frozen afterwards, per the ForkableApp ownership rules.
+func (a *App) Fork() controller.App {
+	c := *a
+	c.borrowed = true
+	return &c
+}
+
+// ensureOwned deep-copies borrowed mutable state before the first
+// write. pending's Waiting maps are included: BarrierReply deletes from
+// them in place.
+func (a *App) ensureOwned() {
+	if !a.borrowed {
+		return
+	}
+	flows := make(map[openflow.Flow]Path, len(a.flows))
+	for k, v := range a.flows {
+		flows[k] = v
+	}
+	pending := make([]pendingRelease, len(a.pending))
+	for i, p := range a.pending {
+		w := make(map[int]bool, len(p.Waiting))
+		for x := range p.Waiting {
+			w[x] = true
+		}
+		p.Waiting = w
+		pending[i] = p
+	}
+	a.flows, a.pending = flows, pending
+	a.borrowed = false
 }
 
 // StateKey implements controller.App.
@@ -207,6 +251,7 @@ func (a *App) StatsReply(ctx *controller.Context, sw openflow.SwitchID, stats *s
 		// after its rules are gone, and the handler "ignores the
 		// packet because it fails to find this switch in any of those
 		// lists" (§8.3) — s3 is on no recomputed path.
+		a.ensureOwned()
 		for f := range a.flows {
 			if a.flows[f] != AlwaysOn {
 				a.flows[f] = AlwaysOn
@@ -254,6 +299,7 @@ func (a *App) PacketIn(ctx *controller.Context, sw openflow.SwitchID, pkt *sym.P
 	path, known := sym.LookupFlow(ctx.Trace(), a.flows, pkt)
 	if !known {
 		path = a.choosePath()
+		a.ensureOwned()
 		a.BumpStateVersion()
 		a.flowCount++
 		a.flows[flow] = path
@@ -332,6 +378,7 @@ func (a *App) installPath(ctx *controller.Context, p Path, pkt *sym.Packet, buf 
 		for _, sw := range sws[1:] {
 			waiting[ctx.Barrier(sw)] = true
 		}
+		a.ensureOwned()
 		a.BumpStateVersion()
 		a.pending = append(a.pending, pendingRelease{
 			Sw: a.ingress, Buf: buf, Out: firstOut, Waiting: waiting,
@@ -349,6 +396,8 @@ func (a *App) BarrierReply(ctx *controller.Context, _ openflow.SwitchID, xid int
 		if !p.Waiting[xid] {
 			continue
 		}
+		a.ensureOwned()
+		p = &a.pending[i] // re-point at the owned copy before mutating
 		a.BumpStateVersion()
 		delete(p.Waiting, xid)
 		if len(p.Waiting) == 0 {

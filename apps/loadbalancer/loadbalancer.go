@@ -22,9 +22,10 @@ package loadbalancer
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 
 	"github.com/nice-go/nice/controller"
-	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/sym"
 	"github.com/nice-go/nice/openflow"
 	"github.com/nice-go/nice/topo"
@@ -96,6 +97,11 @@ type App struct {
 	inspected map[openflow.Flow]int
 	// reconfigsLeft bounds the environment transition.
 	reconfigsLeft int
+
+	// borrowed marks inspected as shared with the instance this one was
+	// forked from (controller.ForkableApp); the first inspection write
+	// copies it. Scalar fields need no guard — Fork copies the struct.
+	borrowed bool
 }
 
 // VirtualMAC is the MAC the virtual IP resolves to.
@@ -128,7 +134,9 @@ func New(fix FixLevel, t *topo.Topology, vip openflow.IPAddr, reconfigs int) *Ap
 // Name implements controller.App.
 func (a *App) Name() string { return fmt.Sprintf("loadbalancer(fix=%d)", int(a.fix)) }
 
-// Clone implements controller.App.
+// Clone implements controller.App with a full deep copy (used by
+// discover_packets' throwaway handler runs and the deep-clone reference
+// path; the checker's copy-on-write fast path uses Fork).
 func (a *App) Clone() controller.App {
 	c := *a
 	c.replicas = append([]Replica(nil), a.replicas...)
@@ -136,13 +144,103 @@ func (a *App) Clone() controller.App {
 	for k, v := range a.inspected {
 		c.inspected[k] = v
 	}
+	c.borrowed = false
 	return &c
 }
 
-// StateKey implements controller.App.
+// Fork implements controller.ForkableApp: an O(1) copy borrowing the
+// inspected-connection map (replicas are immutable after New and always
+// shared). The receiver must be frozen afterwards, per the ForkableApp
+// ownership rules.
+func (a *App) Fork() controller.App {
+	c := *a
+	c.borrowed = true
+	return &c
+}
+
+// ensureOwned copies the borrowed inspected map before the first write.
+func (a *App) ensureOwned() {
+	if !a.borrowed {
+		return
+	}
+	m := make(map[openflow.Flow]int, len(a.inspected))
+	for k, v := range a.inspected {
+		m[k] = v
+	}
+	a.inspected = m
+	a.borrowed = false
+}
+
+// StateKey implements controller.App with a hand-written sorted
+// rendering (the reflective canon.String walk over the inspected map
+// re-ran on every connection inspection and dominated the AppKey cost).
 func (a *App) StateKey() string {
-	return fmt.Sprintf("policy=%d old=%d trans=%t rc=%d insp=%s",
-		a.policy, a.oldPolicy, a.transitioning, a.reconfigsLeft, canon.String(a.inspected))
+	flows := make([]openflow.Flow, 0, len(a.inspected))
+	for f := range a.inspected {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flowLess(flows[i], flows[j]) })
+	b := make([]byte, 0, 48+40*len(flows))
+	b = append(b, "policy="...)
+	b = strconv.AppendInt(b, int64(a.policy), 10)
+	b = append(b, " old="...)
+	b = strconv.AppendInt(b, int64(a.oldPolicy), 10)
+	b = append(b, " trans="...)
+	b = strconv.AppendBool(b, a.transitioning)
+	b = append(b, " rc="...)
+	b = strconv.AppendInt(b, int64(a.reconfigsLeft), 10)
+	b = append(b, " insp{"...)
+	for i, f := range flows {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = appendFlowKey(b, f)
+		b = append(b, '>')
+		b = strconv.AppendInt(b, int64(a.inspected[f]), 10)
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// flowLess orders flows for the canonical inspected rendering.
+func flowLess(a, b openflow.Flow) bool {
+	switch {
+	case a.EthSrc != b.EthSrc:
+		return a.EthSrc < b.EthSrc
+	case a.EthDst != b.EthDst:
+		return a.EthDst < b.EthDst
+	case a.EthType != b.EthType:
+		return a.EthType < b.EthType
+	case a.IPSrc != b.IPSrc:
+		return a.IPSrc < b.IPSrc
+	case a.IPDst != b.IPDst:
+		return a.IPDst < b.IPDst
+	case a.IPProto != b.IPProto:
+		return a.IPProto < b.IPProto
+	case a.TPSrc != b.TPSrc:
+		return a.TPSrc < b.TPSrc
+	default:
+		return a.TPDst < b.TPDst
+	}
+}
+
+func appendFlowKey(b []byte, f openflow.Flow) []byte {
+	b = strconv.AppendUint(b, uint64(f.EthSrc), 16)
+	b = append(b, '>')
+	b = strconv.AppendUint(b, uint64(f.EthDst), 16)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(f.EthType), 16)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(uint32(f.IPSrc)), 16)
+	b = append(b, '>')
+	b = strconv.AppendUint(b, uint64(uint32(f.IPDst)), 16)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(f.IPProto), 10)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(f.TPSrc), 10)
+	b = append(b, '>')
+	b = strconv.AppendUint(b, uint64(f.TPDst), 10)
+	return b
 }
 
 // SwitchJoin installs the steady-state rule set: ARP redirection to the
@@ -341,6 +439,7 @@ func (a *App) handleConnection(ctx *controller.Context, pkt *sym.Packet, buf ope
 			// Mid-connection packet of an ongoing transfer.
 			choice = a.oldPolicy
 		}
+		a.ensureOwned()
 		a.BumpStateVersion()
 		a.inspected[flow] = choice
 	}

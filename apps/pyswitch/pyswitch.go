@@ -45,6 +45,12 @@ type App struct {
 	// ctrl_state[sw_id][pkt.src] = inport.
 	mactable map[openflow.SwitchID]map[openflow.EthAddr]openflow.PortID
 
+	// borrowed marks mactable as shared with the instance this one was
+	// forked from (controller.ForkableApp); the first learning write
+	// deep-copies it. The flag lives only on the fork — the frozen
+	// source is never written.
+	borrowed bool
+
 	// stPorts caches the spanning-tree flood ports per switch (Fixed
 	// only; immutable after construction).
 	stPorts map[openflow.SwitchID][]openflow.PortID
@@ -71,7 +77,9 @@ func (a *App) Name() string {
 	return "pyswitch"
 }
 
-// Clone implements controller.App.
+// Clone implements controller.App with a full deep copy (used by
+// discover_packets' throwaway handler runs and the deep-clone reference
+// path; the checker's copy-on-write fast path uses Fork).
 func (a *App) Clone() controller.App {
 	c := &App{VersionCounter: a.VersionCounter,
 		variant: a.variant, topo: a.topo, stPorts: a.stPorts,
@@ -84,6 +92,33 @@ func (a *App) Clone() controller.App {
 		c.mactable[sw] = m
 	}
 	return c
+}
+
+// Fork implements controller.ForkableApp: an O(1) copy borrowing the
+// MAC tables; ensureOwned deep-copies them before the first learning
+// write on the fork. The receiver must be frozen afterwards, per the
+// ForkableApp ownership rules.
+func (a *App) Fork() controller.App {
+	c := *a
+	c.borrowed = true
+	return &c
+}
+
+// ensureOwned deep-copies borrowed MAC tables before the first write.
+func (a *App) ensureOwned() {
+	if !a.borrowed {
+		return
+	}
+	mt := make(map[openflow.SwitchID]map[openflow.EthAddr]openflow.PortID, len(a.mactable))
+	for sw, t := range a.mactable {
+		m := make(map[openflow.EthAddr]openflow.PortID, len(t))
+		for k, v := range t {
+			m[k] = v
+		}
+		mt[sw] = m
+	}
+	a.mactable = mt
+	a.borrowed = false
 }
 
 // StateKey implements controller.App with a hand-written sorted
@@ -127,6 +162,7 @@ func (a *App) StateKey() string {
 // SwitchJoin initializes the switch's MAC table (Figure 3 lines 17-19).
 func (a *App) SwitchJoin(_ *controller.Context, sw openflow.SwitchID) {
 	if _, ok := a.mactable[sw]; !ok {
+		a.ensureOwned()
 		a.BumpStateVersion()
 		a.mactable[sw] = make(map[openflow.EthAddr]openflow.PortID)
 	}
@@ -135,6 +171,7 @@ func (a *App) SwitchJoin(_ *controller.Context, sw openflow.SwitchID) {
 // SwitchLeave deletes it (lines 20-22).
 func (a *App) SwitchLeave(_ *controller.Context, sw openflow.SwitchID) {
 	if _, ok := a.mactable[sw]; ok {
+		a.ensureOwned()
 		a.BumpStateVersion()
 		delete(a.mactable, sw)
 	}
@@ -150,6 +187,7 @@ func (a *App) PortStatus(ctx *controller.Context, sw openflow.SwitchID, port ope
 	}
 	for mac, p := range a.mactable[sw] {
 		if p == port {
+			a.ensureOwned()
 			a.BumpStateVersion()
 			delete(a.mactable[sw], mac)
 		}
@@ -167,18 +205,20 @@ func (a *App) PortStatus(ctx *controller.Context, sw openflow.SwitchID, port ope
 func (a *App) PacketIn(ctx *controller.Context, sw openflow.SwitchID, pkt *sym.Packet,
 	buf openflow.BufferID, _ openflow.PacketInReason) {
 
-	mactable := a.mactable[sw] // line 3
 	inport := pkt.InPort()
 
 	// Lines 4-5: is_bcast_src = pkt.src[0] & 1 (and dst).
 	isBcastSrc := pkt.EthSrc().Byte(0, 6).And(sym.Concrete(1)).EqConst(1)
 	isBcastDst := pkt.EthDst().Byte(0, 6).And(sym.Concrete(1)).EqConst(1)
 
-	// Lines 6-7: learn the source port.
+	// Lines 6-7: learn the source port. (The table alias of Figure 3's
+	// line 3 is taken after the write so it points at the owned copy.)
 	if !ctx.If(isBcastSrc) {
+		a.ensureOwned()
 		a.BumpStateVersion()
-		mactable[openflow.EthAddr(pkt.EthSrc().C)] = inport
+		a.mactable[sw][openflow.EthAddr(pkt.EthSrc().C)] = inport
 	}
+	mactable := a.mactable[sw] // line 3
 
 	// Line 8: known unicast destination?
 	if !ctx.If(isBcastDst) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -156,6 +157,15 @@ type CampaignResult struct {
 	Engine       string        `json:"engine,omitempty"`
 	Complete     bool          `json:"complete"`
 	StopReason   string        `json:"stop_reason,omitempty"`
+
+	// StatesPerSec is the job's unique-state throughput — the
+	// campaign-level view of the copy-on-write forking win, without a
+	// separate bench run.
+	StatesPerSec float64 `json:"states_per_sec"`
+	// PeakHeapBytes is the peak in-use heap sampled while the job ran.
+	// The measurement is process-wide: jobs running concurrently
+	// (Parallelism > 1) share the heap, so treat it as an envelope.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 // ok reports whether the outcome matches expectations (partial results
@@ -202,8 +212,8 @@ func (r *CampaignReport) WriteText(w io.Writer) {
 			width = n
 		}
 	}
-	fmt.Fprintf(w, "%-*s  %-20s %12s %12s %10s  %s\n",
-		width, "scenario", "outcome", "transitions", "states", "elapsed", "detail")
+	fmt.Fprintf(w, "%-*s  %-20s %12s %12s %10s %10s %9s  %s\n",
+		width, "scenario", "outcome", "transitions", "states", "states/s", "elapsed", "peak-heap", "detail")
 	for i := range r.Results {
 		res := &r.Results[i]
 		detail := ""
@@ -218,13 +228,69 @@ func (r *CampaignReport) WriteText(w io.Writer) {
 		case res.Outcome == OutcomePartial:
 			detail = "stopped: " + res.StopReason
 		}
-		fmt.Fprintf(w, "%-*s  %-20s %12d %12d %10s  %s\n",
+		fmt.Fprintf(w, "%-*s  %-20s %12d %12d %10.0f %10s %9s  %s\n",
 			width, res.Label, res.Outcome, res.Transitions, res.UniqueStates,
-			res.Elapsed.Round(time.Millisecond), detail)
+			res.StatesPerSec, res.Elapsed.Round(time.Millisecond),
+			formatBytes(res.PeakHeapBytes), detail)
 	}
 	fmt.Fprintf(w, "\n%d jobs: %d violations, %d unexpected, %d partial — %d transitions, %d unique states in %s\n",
 		r.Jobs, r.Violations, r.Unexpected, r.Partial,
 		r.Transitions, r.UniqueStates, r.Elapsed.Round(time.Millisecond))
+}
+
+// formatBytes renders a byte count compactly for the text table.
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// heapSampler records the peak in-use heap while a job runs, sampling
+// runtime.ReadMemStats on a coarse interval (cheap relative to a
+// search; the first and last samples bracket short jobs).
+type heapSampler struct {
+	done chan struct{}
+	out  chan uint64
+}
+
+func startHeapSampler() *heapSampler {
+	h := &heapSampler{done: make(chan struct{}), out: make(chan uint64, 1)}
+	go func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		peak := ms.HeapInuse
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+			case <-h.done:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+				h.out <- peak
+				return
+			}
+		}
+	}()
+	return h
+}
+
+func (h *heapSampler) stop() uint64 {
+	close(h.done)
+	return <-h.out
 }
 
 // cacheKey groups jobs that may share a discover-cache set.
@@ -385,7 +451,9 @@ func (c *Campaign) runJob(ctx context.Context, job CampaignJob, statesLeft, tran
 	}
 	opts = append(opts, extra...)
 
+	sampler := startHeapSampler()
 	r := Run(ctx, cfg, opts...)
+	res.PeakHeapBytes = sampler.stop()
 	statesLeft.Add(-r.UniqueStates)
 	transLeft.Add(-r.Transitions)
 
@@ -396,6 +464,9 @@ func (c *Campaign) runJob(ctx context.Context, job CampaignJob, statesLeft, tran
 	res.Engine = r.Strategy
 	res.Complete = r.Complete
 	res.StopReason = string(r.StopReason)
+	if secs := r.Elapsed.Seconds(); secs > 0 {
+		res.StatesPerSec = float64(r.UniqueStates) / secs
+	}
 
 	seen := map[string]bool{}
 	for i := range r.Violations {

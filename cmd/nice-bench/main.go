@@ -7,9 +7,10 @@
 //
 //	go run ./cmd/nice-bench -pr 2 -out BENCH_2.json
 //
-// Gate CI against it (exit 1 on >20% states/sec regression):
+// Gate CI against it (exit 1 on >20% states/sec drop or >20%
+// allocs-per-state growth on any gated workload):
 //
-//	go run ./cmd/nice-bench -baseline BENCH_2.json -tolerance 0.2 -out bench-ci.json
+//	go run ./cmd/nice-bench -baseline BENCH_5.json -tolerance 0.2 -alloc-tolerance 0.2 -out bench-ci.json
 package main
 
 import (
@@ -22,10 +23,12 @@ import (
 
 func main() {
 	var (
-		out        = flag.String("out", "", "write the suite JSON to this path")
-		pr         = flag.Int("pr", 0, "trajectory index stamped into the output")
-		baseline   = flag.String("baseline", "", "compare gated workloads against this suite JSON")
-		tolerance  = flag.Float64("tolerance", 0.2, "allowed fractional states/sec drop before failing")
+		out       = flag.String("out", "", "write the suite JSON to this path")
+		pr        = flag.Int("pr", 0, "trajectory index stamped into the output")
+		baseline  = flag.String("baseline", "", "compare gated workloads against this suite JSON")
+		tolerance = flag.Float64("tolerance", 0.2, "allowed fractional states/sec drop before failing")
+		allocTol  = flag.Float64("alloc-tolerance", 0.2,
+			"allowed fractional allocs-per-state growth before failing (0 disables)")
 		iters      = flag.Int("iters", 3, "best-of-N repeats for gated workloads")
 		workers    = flag.Int("workers", 0, "parallel-engine workers (0 = min(4, NumCPU))")
 		skipTable2 = flag.Bool("skip-table2", false, "skip the 44-cell Table 2 sweep")
@@ -82,16 +85,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nice-bench:", err)
 			os.Exit(2)
 		}
-		regs := bench.Compare(base, suite, *tolerance)
+		regs := bench.CompareAlloc(base, suite, *tolerance, *allocTol)
 		if len(regs) > 0 {
-			fmt.Fprintf(os.Stderr, "nice-bench: %d gated workload(s) regressed beyond %.0f%%:\n",
-				len(regs), *tolerance*100)
+			fmt.Fprintf(os.Stderr, "nice-bench: %d gated workload metric(s) regressed (states/sec beyond %.0f%%, allocs/state beyond %.0f%%):\n",
+				len(regs), *tolerance*100, *allocTol*100)
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "  ", r)
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("perf gate passed: no gated workload regressed beyond %.0f%% of %s\n",
-			*tolerance*100, *baseline)
+		fmt.Printf("perf + allocs gates passed: no gated workload regressed beyond %.0f%%/%.0f%% of %s\n",
+			*tolerance*100, *allocTol*100, *baseline)
 	}
 }

@@ -9,9 +9,11 @@ package controller
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/nice-go/nice/internal/canon"
+	"github.com/nice-go/nice/internal/cow"
 	"github.com/nice-go/nice/internal/sym"
 	"github.com/nice-go/nice/openflow"
 )
@@ -23,12 +25,19 @@ import (
 //
 // Two extra obligations make the app checkable:
 //
-//   - Clone must deep-copy all mutable state (the checker forks system
-//     states, and discover_packets runs handlers on throwaway clones);
+//   - Clone must deep-copy all mutable state (the checker's retained
+//     deep-copy reference path forks states with it, and
+//     discover_packets runs handlers on throwaway clones while the
+//     receiver stays live);
 //   - StateKey must render the app state canonically (internal/canon's
 //     String helper does this for free), because state matching and the
 //     relevant-packet cache are keyed by the stringified controller
 //     state, exactly as in Figure 5 of the paper.
+//
+// Applications whose Clone cost matters should additionally implement
+// ForkableApp: the copy-on-write search path then forks the app in O(1)
+// and the deep copy happens only if a later handler actually mutates
+// state.
 type App interface {
 	Name() string
 
@@ -50,6 +59,39 @@ type App interface {
 
 	Clone() App
 	StateKey() string
+}
+
+// ForkableApp is the copy-on-write forking contract for applications
+// (the App-interface half of the internal/cow protocol). Fork returns a
+// fork that MAY share internal mutable state with the receiver under
+// two ownership rules:
+//
+//  1. The caller guarantees the receiver is frozen: after Fork it will
+//     never be mutated again through any reference. The COW runtime
+//     guarantees this by epoch retirement — a forked System can only
+//     reach the old app through frozen runtimes.
+//  2. The fork must copy any borrowed mutable state before its own
+//     first mutation (the ensureOwned step), so handler writes never
+//     reach state the frozen receiver still exposes to concurrent
+//     readers.
+//
+// Clone keeps its full deep-copy semantics and remains required: it is
+// used where the receiver stays live and mutable — discover_packets'
+// throwaway handler runs and the retained deep-clone reference path.
+type ForkableApp interface {
+	App
+	// Fork returns a copy-on-write fork of the application; the
+	// receiver must be treated as frozen afterwards.
+	Fork() App
+}
+
+// forkApp forks via ForkableApp when implemented, falling back to a
+// deep Clone.
+func forkApp(a App) App {
+	if f, ok := a.(ForkableApp); ok {
+		return f.Fork()
+	}
+	return a.Clone()
 }
 
 // Versioned is the AppKey dirty hook: applications that bump a version
@@ -123,7 +165,11 @@ type Context struct {
 	// actuator effects are recorded but will be discarded by the
 	// caller together with the cloned app.
 	symbolic bool
-	nextXid  func() int
+	// rt is set on runtime-issued contexts: barrier xids come straight
+	// from the runtime counter, avoiding a closure allocation per
+	// dispatched handler. nextXid is the stand-alone fallback.
+	rt      *Runtime
+	nextXid func() int
 }
 
 // NewContext builds a concrete-execution context. nextXid allocates
@@ -145,6 +191,15 @@ func newContext(tr *sym.Trace, symbolic bool, nextXid func() int) *Context {
 		ctx.nextXid = func() int { n++; return n }
 	}
 	return ctx
+}
+
+// allocXid hands out the next barrier correlation ID.
+func (c *Context) allocXid() int {
+	if c.rt != nil {
+		c.rt.xid++
+		return c.rt.xid
+	}
+	return c.nextXid()
 }
 
 // If evaluates a concolic condition, recording the branch when executing
@@ -202,7 +257,7 @@ func (c *Context) RequestStats(sw openflow.SwitchID, port openflow.PortID) {
 
 // Barrier sends a barrier_request and returns its correlation ID.
 func (c *Context) Barrier(sw openflow.SwitchID) int {
-	xid := c.nextXid()
+	xid := c.allocXid()
 	c.emit(openflow.Msg{Type: openflow.MsgBarrierRequest, Switch: sw, Xid: xid})
 	return xid
 }
@@ -231,17 +286,32 @@ type Runtime struct {
 	xid int
 
 	// Incremental-fingerprinting caches: the rendered application key
-	// (with its 64-bit hash and, for Versioned apps, the version it was
+	// (with its hashes and, for Versioned apps, the version it was
 	// rendered at) and the two channel renderings. Each is valid until
 	// the corresponding state mutates; Clone copies all three.
-	appKey      string
-	appKeyHash  uint64
-	appKeyValid bool
-	appVersion  uint64
-	inKey       string
-	inKeyValid  bool
-	outKey      string
-	outKeyValid bool
+	appKey       string
+	appKeyHash   uint64
+	appKeyDigest canon.Digest
+	appKeyValid  bool
+	appVersion   uint64
+	inKey        string
+	inKeyHash    uint64
+	inKeyValid   bool
+	outKey       string
+	outKeyHash   uint64
+	outKeyValid  bool
+
+	// Tag is the copy-on-write ownership marker (internal/cow): the
+	// System owning this runtime compares it against its current epoch
+	// and forks before mutating when they differ.
+	cow.Tag
+
+	// borrowApp / borrowIn / borrowOut mark the application and the two
+	// channel maps as shared with the runtime this one was forked from;
+	// each is copied (the app via ForkableApp.Fork when implemented)
+	// before its first mutation. The flags live only on the exclusive
+	// fork — the frozen source is never written.
+	borrowApp, borrowIn, borrowOut bool
 }
 
 // NewRuntime wraps an application.
@@ -253,7 +323,59 @@ func NewRuntime(app App) *Runtime {
 	}
 }
 
-// Clone deep-copies the runtime (including the app).
+// Fork returns a copy-on-write fork owned at epoch owner: an O(1)
+// struct copy borrowing the application and both channel maps. The
+// receiver must be frozen afterwards (the System-level protocol
+// guarantees this by retiring its epoch); the fork copies each borrowed
+// piece before its own first mutation of it. Queued messages are never
+// copied at all — a message is immutable once enqueued.
+func (r *Runtime) Fork(owner uint64) *Runtime {
+	c := *r
+	c.SetOwner(owner)
+	c.borrowApp, c.borrowIn, c.borrowOut = true, true, true
+	return &c
+}
+
+// ownApp forks the borrowed application before the first handler
+// dispatch mutates it.
+func (r *Runtime) ownApp() {
+	if !r.borrowApp {
+		return
+	}
+	r.App = forkApp(r.App)
+	r.borrowApp = false
+}
+
+// ownInQ copies the borrowed switch→controller channel map before its
+// first mutation; queue slices are capacity-clamped so appends
+// reallocate instead of writing a shared backing array.
+func (r *Runtime) ownInQ() {
+	if !r.borrowIn {
+		return
+	}
+	r.inQ = copyQueues(r.inQ)
+	r.borrowIn = false
+}
+
+// ownOutQ is ownInQ for the controller→switch channel map.
+func (r *Runtime) ownOutQ() {
+	if !r.borrowOut {
+		return
+	}
+	r.outQ = copyQueues(r.outQ)
+	r.borrowOut = false
+}
+
+func copyQueues(m map[openflow.SwitchID][]openflow.Msg) map[openflow.SwitchID][]openflow.Msg {
+	c := make(map[openflow.SwitchID][]openflow.Msg, len(m))
+	for sw, q := range m {
+		c[sw] = q[:len(q):len(q)]
+	}
+	return c
+}
+
+// Clone deep-copies the runtime (including the app) — the retained
+// deep-copy forking path; Fork is the copy-on-write fast path.
 func (r *Runtime) Clone() *Runtime {
 	c := &Runtime{
 		App:  r.App.Clone(),
@@ -262,14 +384,17 @@ func (r *Runtime) Clone() *Runtime {
 		seq:  r.seq,
 		xid:  r.xid,
 
-		appKey:      r.appKey,
-		appKeyHash:  r.appKeyHash,
-		appKeyValid: r.appKeyValid,
-		appVersion:  r.appVersion,
-		inKey:       r.inKey,
-		inKeyValid:  r.inKeyValid,
-		outKey:      r.outKey,
-		outKeyValid: r.outKeyValid,
+		appKey:       r.appKey,
+		appKeyHash:   r.appKeyHash,
+		appKeyDigest: r.appKeyDigest,
+		appKeyValid:  r.appKeyValid,
+		appVersion:   r.appVersion,
+		inKey:        r.inKey,
+		inKeyHash:    r.inKeyHash,
+		inKeyValid:   r.inKeyValid,
+		outKey:       r.outKey,
+		outKeyHash:   r.outKeyHash,
+		outKeyValid:  r.outKeyValid,
 	}
 	for sw, q := range r.inQ {
 		c.inQ[sw] = cloneMsgs(q)
@@ -290,8 +415,9 @@ func cloneMsgs(q []openflow.Msg) []openflow.Msg {
 
 // DeliverToController enqueues a switch→controller message.
 func (r *Runtime) DeliverToController(m openflow.Msg) {
+	r.ownInQ()
 	r.inKeyValid = false
-	r.inQ[m.Switch] = append(r.inQ[m.Switch], m)
+	r.inQ[m.Switch] = append(r.inQ[m.Switch], m.MemoKey())
 }
 
 // PendingIn returns the switches with queued inbound messages, sorted.
@@ -327,13 +453,12 @@ func (r *Runtime) PopIn(sw openflow.SwitchID) (openflow.Msg, bool) {
 	if len(q) == 0 {
 		return openflow.Msg{}, false
 	}
+	r.ownInQ()
 	r.inKeyValid = false
 	m := q[0]
-	if len(q) == 1 {
-		delete(r.inQ, sw)
-	} else {
-		r.inQ[sw] = append([]openflow.Msg(nil), q[1:]...)
-	}
+	// Sharing the tail is safe: queue backings are never written in
+	// place (appends on forks reallocate past the clamped capacity).
+	r.inQ[sw] = q[1:]
 	return m, true
 }
 
@@ -353,13 +478,10 @@ func (r *Runtime) PopOut(sw openflow.SwitchID) (openflow.Msg, bool) {
 	if len(q) == 0 {
 		return openflow.Msg{}, false
 	}
+	r.ownOutQ()
 	r.outKeyValid = false
 	m := q[0]
-	if len(q) == 1 {
-		delete(r.outQ, sw)
-	} else {
-		r.outQ[sw] = append([]openflow.Msg(nil), q[1:]...)
-	}
+	r.outQ[sw] = q[1:]
 	return m, true
 }
 
@@ -367,19 +489,20 @@ func (r *Runtime) PopOut(sw openflow.SwitchID) (openflow.Msg, bool) {
 // channels.
 func (r *Runtime) Emit(msgs []openflow.Msg) {
 	if len(msgs) > 0 {
+		r.ownOutQ()
 		r.outKeyValid = false
 	}
 	for _, m := range msgs {
 		r.seq++
 		m.Seq = r.seq
-		r.outQ[m.Switch] = append(r.outQ[m.Switch], m)
+		r.outQ[m.Switch] = append(r.outQ[m.Switch], m.MemoKey())
 	}
 }
 
 // NewContext builds a concrete handler context wired to the runtime's
 // xid allocator.
 func (r *Runtime) NewContext() *Context {
-	return NewContext(func() int { r.xid++; return r.xid })
+	return &Context{rt: r}
 }
 
 // appDirty marks a handler run: for apps without the Versioned dirty
@@ -394,6 +517,7 @@ func (r *Runtime) appDirty() {
 // Dispatch executes the handler for one inbound message on the app,
 // returning the emitted messages (already enqueued via Emit).
 func (r *Runtime) Dispatch(m openflow.Msg) []openflow.Msg {
+	r.ownApp()
 	r.appDirty()
 	ctx := r.NewContext()
 	switch m.Type {
@@ -420,6 +544,7 @@ func (r *Runtime) Dispatch(m openflow.Msg) []openflow.Msg {
 // DispatchStats executes the stats handler with checker-chosen concrete
 // stats values (the process_stats transition armed by discover_stats).
 func (r *Runtime) DispatchStats(sw openflow.SwitchID, stats []openflow.PortStats) []openflow.Msg {
+	r.ownApp()
 	r.appDirty()
 	ctx := r.NewContext()
 	r.App.StatsReply(ctx, sw, sym.ConcreteStats(stats))
@@ -429,6 +554,7 @@ func (r *Runtime) DispatchStats(sw openflow.SwitchID, stats []openflow.PortStats
 
 // DispatchEnv executes an environment event on an EnvApp.
 func (r *Runtime) DispatchEnv(event string) []openflow.Msg {
+	r.ownApp()
 	env, ok := r.App.(EnvApp)
 	if !ok {
 		panic(fmt.Sprintf("controller: app %s has no environment events", r.App.Name()))
@@ -489,6 +615,7 @@ func (r *Runtime) AppKey() string {
 
 func (r *Runtime) fillAppKey() {
 	r.appKey = r.App.StateKey()
+	r.appKeyDigest = canon.Hash128(r.appKey)
 	r.appKeyHash = canon.Hash64String(r.appKey)
 	r.appKeyValid = true
 }
@@ -499,15 +626,31 @@ func (r *Runtime) AppKeyHash64() uint64 {
 	return r.appKeyHash
 }
 
+// AppKeyDigest returns the cached 128-bit digest of AppKey — the
+// discover-cache key component (core keys its relevant-packet memo by
+// it instead of the full string, keeping lookups allocation-free).
+func (r *Runtime) AppKeyDigest() canon.Digest {
+	r.AppKey()
+	return r.appKeyDigest
+}
+
 // InKey renders the switch→controller channel contents (cached).
 func (r *Runtime) InKey() string {
 	if !r.inKeyValid {
 		var b strings.Builder
 		writeQueues(&b, r.inQ)
 		r.inKey = b.String()
+		r.inKeyHash = canon.Hash64String(r.inKey)
 		r.inKeyValid = true
 	}
 	return r.inKey
+}
+
+// InKeyHash64 returns the cached 64-bit hash of InKey — the channel
+// component System.Fingerprint combines without re-hashing the string.
+func (r *Runtime) InKeyHash64() uint64 {
+	r.InKey()
+	return r.inKeyHash
 }
 
 // OutKey renders the controller→switch channel contents (cached).
@@ -516,14 +659,50 @@ func (r *Runtime) OutKey() string {
 		var b strings.Builder
 		writeQueues(&b, r.outQ)
 		r.outKey = b.String()
+		r.outKeyHash = canon.Hash64String(r.outKey)
 		r.outKeyValid = true
 	}
 	return r.outKey
 }
 
+// OutKeyHash64 is InKeyHash64 for the controller→switch channels.
+func (r *Runtime) OutKeyHash64() uint64 {
+	r.OutKey()
+	return r.outKeyHash
+}
+
 func writeQueues(b *strings.Builder, m map[openflow.SwitchID][]openflow.Msg) {
-	for _, sw := range sortedKeys(m) {
-		fmt.Fprintf(b, "%v:[", sw)
+	// Sort into a stack-allocated key buffer: channel renderings run on
+	// every queue mutation, so the sortedKeys allocation would be a
+	// top-ten site of a whole search.
+	var kbuf [16]openflow.SwitchID
+	keys := kbuf[:0]
+	for sw, q := range m {
+		if len(q) > 0 {
+			keys = append(keys, sw)
+		}
+	}
+	// Insertion sort: sort.Slice's closure would force the key buffer
+	// to escape to the heap on every channel render.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	// Messages carry memoized keys (Msg.MemoKey), so sizing the builder
+	// is a cheap len sum and the rendering itself is pure copying.
+	size := 0
+	for _, sw := range keys {
+		size += 12
+		for i := range m[sw] {
+			size += len(m[sw][i].Key()) + 1
+		}
+	}
+	b.Grow(size)
+	for _, sw := range keys {
+		b.WriteByte('s')
+		b.WriteString(strconv.Itoa(int(sw)))
+		b.WriteString(":[")
 		for i, msg := range m[sw] {
 			if i > 0 {
 				b.WriteByte(' ')

@@ -5,10 +5,10 @@
 package hosts
 
 import (
-	"fmt"
-	"strings"
+	"strconv"
 
 	"github.com/nice-go/nice/internal/canon"
+	"github.com/nice-go/nice/internal/cow"
 	"github.com/nice-go/nice/openflow"
 	"github.com/nice-go/nice/topo"
 )
@@ -80,18 +80,42 @@ type Host struct {
 	key      string
 	keyHash  uint64
 	keyValid bool
+
+	// Tag is the copy-on-write ownership marker (internal/cow): the
+	// System owning this host compares it against its current epoch and
+	// forks before mutating when they differ.
+	cow.Tag
 }
 
 // Invalidate drops the cached StateKey rendering.
 func (h *Host) Invalidate() { h.keyValid = false }
 
-// Clone deep-copies the host state.
+// Clone deep-copies the host state — the retained deep-copy forking
+// path; Fork is the copy-on-write fast path.
 func (h *Host) Clone() *Host {
 	c := *h
 	c.MoveTargets = append([]topo.PortKey(nil), h.MoveTargets...)
 	c.PendingReplies = append([]openflow.Header(nil), h.PendingReplies...)
 	c.Repertoire = append([]openflow.Header(nil), h.Repertoire...)
 	c.Received = append([]openflow.Header(nil), h.Received...)
+	return &c
+}
+
+// Fork returns a copy-on-write fork owned at epoch owner: an O(1)
+// struct copy whose slices are capacity-clamped so appends reallocate
+// instead of writing a shared backing array. Every Host mutator either
+// appends or replaces a slice wholesale (never writes elements in
+// place), so no further copying is needed; the receiver must be frozen
+// afterwards, which the System-level protocol guarantees by retiring
+// its epoch.
+func (h *Host) Fork(owner uint64) *Host {
+	c := *h
+	c.SetOwner(owner)
+	c.MoveTargets = c.MoveTargets[:len(c.MoveTargets):len(c.MoveTargets)]
+	c.PendingReplies = c.PendingReplies[:len(c.PendingReplies):len(c.PendingReplies)]
+	c.Received = c.Received[:len(c.Received):len(c.Received)]
+	// Repertoire is immutable after construction (RepIdx advances, the
+	// entries never change), so the fork shares it as-is.
 	return &c
 }
 
@@ -195,30 +219,60 @@ func (h *Host) KeyHash64() uint64 {
 }
 
 // RenderStateKey rebuilds the canonical state key from scratch, ignoring
-// the cache (the differential-oracle path).
+// the cache (the differential-oracle path). The rendering is hand
+// appended — hosts re-render on every send/receive, which made the fmt
+// path one of the hottest allocation sites of the whole search.
 func (h *Host) RenderStateKey() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "host%d@%v budget=%d credits=%d replies=%d sent=%d rep=%d",
-		int(h.ID), h.Loc, h.SendBudget, h.Credits, h.ReplyBudget, h.SentCount, h.RepIdx)
+	b := make([]byte, 0, 96)
+	b = append(b, "host"...)
+	b = strconv.AppendInt(b, int64(h.ID), 10)
+	b = append(b, "@s"...)
+	b = strconv.AppendInt(b, int64(h.Loc.Sw), 10)
+	b = append(b, ":p"...)
+	b = strconv.AppendInt(b, int64(h.Loc.Port), 10)
+	b = append(b, " budget="...)
+	b = strconv.AppendInt(b, int64(h.SendBudget), 10)
+	b = append(b, " credits="...)
+	b = strconv.AppendInt(b, int64(h.Credits), 10)
+	b = append(b, " replies="...)
+	b = strconv.AppendInt(b, int64(h.ReplyBudget), 10)
+	b = append(b, " sent="...)
+	b = strconv.AppendInt(b, int64(h.SentCount), 10)
+	b = append(b, " rep="...)
+	b = strconv.AppendInt(b, int64(h.RepIdx), 10)
 	if len(h.MoveTargets) > 0 {
-		fmt.Fprintf(&b, " moves=%v", h.MoveTargets)
+		b = append(b, " moves=["...)
+		for i, m := range h.MoveTargets {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = append(b, 's')
+			b = strconv.AppendInt(b, int64(m.Sw), 10)
+			b = append(b, ":p"...)
+			b = strconv.AppendInt(b, int64(m.Port), 10)
+		}
+		b = append(b, ']')
 	}
-	b.WriteString(" pend[")
+	b = append(b, " pend["...)
 	for i, r := range h.PendingReplies {
 		if i > 0 {
-			b.WriteByte(' ')
+			b = append(b, ' ')
 		}
-		fmt.Fprintf(&b, "(%s)", r.Key())
+		b = append(b, '(')
+		b = append(b, r.Key()...)
+		b = append(b, ')')
 	}
-	b.WriteString("] rcvd[")
+	b = append(b, "] rcvd["...)
 	for i, r := range h.Received {
 		if i > 0 {
-			b.WriteByte(' ')
+			b = append(b, ' ')
 		}
-		fmt.Fprintf(&b, "(%s)", r.Key())
+		b = append(b, '(')
+		b = append(b, r.Key()...)
+		b = append(b, ')')
 	}
-	b.WriteString("]")
-	return b.String()
+	b = append(b, ']')
+	return string(b)
 }
 
 // EchoReply is the standard layer-2 echo server behaviour: reply to

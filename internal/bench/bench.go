@@ -362,23 +362,43 @@ func Load(path string) (*Suite, error) {
 	return &s, nil
 }
 
-// Regression is one gated workload that fell below the baseline.
+// Regression is one gated workload that fell outside the baseline on
+// some metric (states/sec or allocations per state).
 type Regression struct {
 	Name     string
-	Baseline float64 // baseline states/sec
-	Current  float64 // current states/sec
+	Metric   string  // "states/sec" or "allocs/state"
+	Baseline float64 // baseline value of the metric
+	Current  float64 // current value
 	Ratio    float64 // current / baseline
 }
 
 func (r Regression) String() string {
-	return fmt.Sprintf("%s: %.0f states/sec vs baseline %.0f (%.0f%%)",
-		r.Name, r.Current, r.Baseline, r.Ratio*100)
+	return fmt.Sprintf("%s: %s %.1f vs baseline %.1f (%.0f%%)",
+		r.Name, r.Metric, r.Current, r.Baseline, r.Ratio*100)
 }
 
-// Compare checks every gated baseline workload against the current run:
-// a workload regresses when its states/sec drops below (1 - tolerance)
-// of the baseline, or disappears entirely. Faster is never a failure.
+// AllocsPerState is the workload's allocation count normalized per
+// unique state — the allocs/op measure the CI gate tracks alongside
+// throughput.
+func (r Result) AllocsPerState() float64 {
+	if r.UniqueStates <= 0 {
+		return 0
+	}
+	return float64(r.AllocObjects) / float64(r.UniqueStates)
+}
+
+// Compare checks every gated baseline workload against the current
+// run on two metrics: states/sec must not drop below (1 - tolerance)
+// of the baseline, and allocations per unique state must not grow
+// beyond (1 + allocTolerance) of the baseline. A vanished workload is
+// a regression; being faster or leaner never is. allocTolerance <= 0
+// disables the allocation gate.
 func Compare(baseline, current *Suite, tolerance float64) []Regression {
+	return CompareAlloc(baseline, current, tolerance, 0)
+}
+
+// CompareAlloc is Compare with the allocs/op gate enabled.
+func CompareAlloc(baseline, current *Suite, tolerance, allocTolerance float64) []Regression {
 	cur := make(map[string]Result, len(current.Results))
 	for _, r := range current.Results {
 		cur[r.Name] = r
@@ -390,14 +410,24 @@ func Compare(baseline, current *Suite, tolerance float64) []Regression {
 		}
 		c, ok := cur[b.Name]
 		if !ok {
-			regs = append(regs, Regression{Name: b.Name, Baseline: b.StatesPerSec})
+			regs = append(regs, Regression{Name: b.Name, Metric: "states/sec", Baseline: b.StatesPerSec})
 			continue
 		}
 		ratio := c.StatesPerSec / b.StatesPerSec
 		if ratio < 1-tolerance {
 			regs = append(regs, Regression{
-				Name: b.Name, Baseline: b.StatesPerSec, Current: c.StatesPerSec, Ratio: ratio,
+				Name: b.Name, Metric: "states/sec",
+				Baseline: b.StatesPerSec, Current: c.StatesPerSec, Ratio: ratio,
 			})
+		}
+		if ba := b.AllocsPerState(); allocTolerance > 0 && ba > 0 && c.AllocsPerState() > 0 {
+			aratio := c.AllocsPerState() / ba
+			if aratio > 1+allocTolerance {
+				regs = append(regs, Regression{
+					Name: b.Name, Metric: "allocs/state",
+					Baseline: ba, Current: c.AllocsPerState(), Ratio: aratio,
+				})
+			}
 		}
 	}
 	return regs

@@ -92,6 +92,20 @@ type Checker struct {
 	stopReason StopReason
 	meter      *progressMeter
 	start      time.Time
+
+	// eventBuf is the reused per-transition event batch: events are
+	// dead once the property checks ran (nothing retains the slice),
+	// so the whole search shares one growing buffer.
+	eventBuf []Event
+	// transBufs are per-depth enabled-transition buffers: a frame's
+	// enabled set is live across its recursive calls, but siblings at
+	// the same depth can reuse one buffer.
+	transBufs [][]Transition
+	// trace is the DFS path stack: one mutable slice pushed/popped per
+	// frame. Violations snapshot it (cloneTrace) — copying the whole
+	// prefix per explored transition was nearly half of all bytes the
+	// search allocated.
+	trace []Transition
 }
 
 // NewChecker prepares a search.
@@ -134,8 +148,9 @@ func (c *Checker) RunContext(ctx context.Context, opts EngineOptions) *Report {
 	c.start = time.Now()
 	c.meter = newProgressMeter("dfs", opts, c.start)
 
+	c.trace = c.trace[:0]
 	root := newSystem(c.cfg, c.caches)
-	c.dfs(root, nil)
+	c.dfs(root)
 
 	c.report.SERuns = c.caches.SERuns()
 	c.report.Elapsed = time.Since(c.start)
@@ -188,7 +203,7 @@ func (c *Checker) progress(depth int) Progress {
 		c.caches.SERuns(), int64(depth), depth)
 }
 
-func (c *Checker) dfs(sys *System, trace []Transition) {
+func (c *Checker) dfs(sys *System) {
 	if c.stopped {
 		return
 	}
@@ -200,20 +215,23 @@ func (c *Checker) dfs(sys *System, trace []Transition) {
 	c.explored[h] = true
 	c.report.UniqueStates++
 
-	enabled := sys.Enabled()
+	depth := len(c.trace)
+	for len(c.transBufs) <= depth {
+		c.transBufs = append(c.transBufs, nil)
+	}
+	enabled := sys.EnabledInto(c.transBufs[depth])
+	c.transBufs[depth] = enabled[:0]
 	if len(enabled) == 0 {
-		for _, p := range sys.Properties() {
-			if err := p.AtQuiescence(sys); err != nil {
-				c.recordViolation(Violation{Property: p.Name(), Err: err,
-					Trace: cloneTrace(trace), Quiescence: true})
-				if c.stopped {
-					return
-				}
+		for _, f := range sys.CheckQuiescence() {
+			c.recordViolation(Violation{Property: f.Property, Err: f.Err,
+				Trace: cloneTrace(c.trace), Quiescence: true})
+			if c.stopped {
+				return
 			}
 		}
 		return
 	}
-	if len(trace) >= c.cfg.maxDepth() {
+	if depth >= c.cfg.maxDepth() {
 		c.report.Truncated++
 		return
 	}
@@ -223,24 +241,27 @@ func (c *Checker) dfs(sys *System, trace []Transition) {
 			return
 		}
 		child := sys.Clone()
-		events := child.Apply(t)
+		events := child.ApplyInto(t, c.eventBuf)
+		c.eventBuf = events
 		c.report.Transitions++
-		next := append(trace[:len(trace):len(trace)], t)
-		c.meter.maybe(func() Progress { return c.progress(len(next)) })
+		c.trace = append(c.trace, t)
+		c.meter.maybe(func() Progress { return c.progress(len(c.trace)) })
 
 		violated := false
-		for _, p := range child.Properties() {
-			if err := p.OnEvents(child, events); err != nil {
-				c.recordViolation(Violation{Property: p.Name(), Err: err, Trace: next})
-				violated = true
-			}
+		for _, f := range child.CheckEvents(events) {
+			c.recordViolation(Violation{Property: f.Property, Err: f.Err,
+				Trace: cloneTrace(c.trace)})
+			violated = true
 		}
 		if violated {
 			// The paper's checker saves the error and trace and does
 			// not explore past a violating state.
-			continue
+			child.Release()
+		} else {
+			c.dfs(child)
+			child.Release()
 		}
-		c.dfs(child, next)
+		c.trace = c.trace[:len(c.trace)-1]
 	}
 }
 
@@ -282,19 +303,15 @@ func (c *Checker) ReplayWithProperties(trace []Transition) (*System, *Violation)
 	sys := newSystem(c.cfg, c.caches)
 	for i, t := range trace {
 		events := sys.Apply(t)
-		for _, p := range sys.Properties() {
-			if err := p.OnEvents(sys, events); err != nil {
-				return sys, &Violation{Property: p.Name(), Err: err,
-					Trace: cloneTrace(trace[:i+1])}
-			}
+		if fails := sys.CheckEvents(events); len(fails) > 0 {
+			return sys, &Violation{Property: fails[0].Property, Err: fails[0].Err,
+				Trace: cloneTrace(trace[:i+1])}
 		}
 	}
 	if sys.Quiescent() {
-		for _, p := range sys.Properties() {
-			if err := p.AtQuiescence(sys); err != nil {
-				return sys, &Violation{Property: p.Name(), Err: err,
-					Trace: cloneTrace(trace), Quiescence: true}
-			}
+		if fails := sys.CheckQuiescence(); len(fails) > 0 {
+			return sys, &Violation{Property: fails[0].Property, Err: fails[0].Err,
+				Trace: cloneTrace(trace), Quiescence: true}
 		}
 	}
 	return sys, nil

@@ -112,6 +112,11 @@ type Config struct {
 	// reflective-oracle baseline the incremental fingerprint is
 	// differentially tested (and benchmarked) against.
 	OracleHash bool
+	// DeepClone makes System.Clone deep-copy every component eagerly
+	// instead of forking copy-on-write — the retained reference path
+	// the COW protocol is differentially tested (and benchmarked)
+	// against. Semantics are identical; only forking cost differs.
+	DeepClone bool
 
 	// --- Budgets ---
 

@@ -273,11 +273,9 @@ walking:
 			}
 			enabled := sys.Enabled()
 			if len(enabled) == 0 {
-				for _, p := range sys.Properties() {
-					if err := p.AtQuiescence(sys); err != nil {
-						record(Violation{Property: p.Name(), Err: err,
-							Trace: cloneTrace(trace), Quiescence: true})
-					}
+				for _, f := range sys.CheckQuiescence() {
+					record(Violation{Property: f.Property, Err: f.Err,
+						Trace: cloneTrace(trace), Quiescence: true})
 				}
 				break
 			}
@@ -286,11 +284,9 @@ walking:
 			report.Transitions++
 			trace = append(trace, t)
 			violated := false
-			for _, p := range sys.Properties() {
-				if err := p.OnEvents(sys, events); err != nil {
-					record(Violation{Property: p.Name(), Err: err, Trace: cloneTrace(trace)})
-					violated = true
-				}
+			for _, f := range sys.CheckEvents(events) {
+				record(Violation{Property: f.Property, Err: f.Err, Trace: cloneTrace(trace)})
+				violated = true
 			}
 			if violated {
 				break

@@ -126,6 +126,12 @@ func (e Event) String() string {
 // violations by returning a non-nil error. AtQuiescence runs on states
 // with no enabled transitions — the "safe time" many definitions wait
 // for to stay robust to in-flight delays (§5.2).
+//
+// Two contract points come from copy-on-write forking (internal/cow):
+// AtQuiescence must not mutate the property (it runs on shared
+// instances; keep quiescence checks read-only and accumulate state in
+// OnEvents), and properties may implement EventMasker to skip event
+// deliveries — and the copy they imply — entirely.
 type Property interface {
 	Name() string
 	Clone() Property
@@ -137,6 +143,14 @@ type Property interface {
 	// implement FreshKeyer so the differential oracle can bypass the
 	// memo.
 	StateKey() string
+}
+
+// KeyHasher is implemented by properties that memoize the 64-bit hash
+// of their StateKey alongside the rendering; System.Fingerprint then
+// combines the cached hash instead of re-hashing the key string on
+// every explored state.
+type KeyHasher interface {
+	StateKeyHash64() uint64
 }
 
 // FreshKeyer is implemented by properties whose StateKey is memoized:
@@ -155,4 +169,99 @@ func propKeyFor(p Property, fresh bool) string {
 		return fk.RenderStateKey()
 	}
 	return p.StateKey()
+}
+
+// ForkableProperty is the copy-on-write forking contract for
+// properties, mirroring controller.ForkableApp: ForkProp returns a fork
+// that may share internal mutable state with the receiver, under the
+// same two ownership rules — the caller freezes the receiver (the
+// checker guarantees this by epoch retirement), and the fork copies
+// borrowed state before its own first mutation. Clone keeps its full
+// deep-copy semantics for the deep-clone reference path.
+type ForkableProperty interface {
+	Property
+	// ForkProp returns a copy-on-write fork; the receiver must be
+	// treated as frozen afterwards.
+	ForkProp() Property
+}
+
+// forkProperty forks via ForkableProperty when implemented, falling
+// back to a deep Clone.
+func forkProperty(p Property) Property {
+	if f, ok := p.(ForkableProperty); ok {
+		return f.ForkProp()
+	}
+	return p.Clone()
+}
+
+// EventMasker is implemented by properties that observe only a subset
+// of event kinds. When a transition's event batch contains none of the
+// masked kinds, the checker skips the property's OnEvents call — and,
+// under copy-on-write forking, the property copy that delivery would
+// force. The mask MUST cover every kind the property so much as reads
+// (including kinds that only trigger violations), or violations will be
+// missed; a mask of 0 declares a property whose OnEvents is a no-op.
+// Properties not implementing the interface receive every batch.
+type EventMasker interface {
+	EventMask() uint64
+}
+
+// MaskOf builds an EventMask bitset from event kinds.
+func MaskOf(kinds ...EventKind) uint64 {
+	var m uint64
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// eventsMask folds a batch's kinds into one bitset.
+func eventsMask(events []Event) uint64 {
+	var m uint64
+	for i := range events {
+		m |= 1 << uint(events[i].Kind)
+	}
+	return m
+}
+
+// PropertyFailure couples a violated property's name with its error —
+// one element of a CheckEvents / CheckQuiescence result.
+type PropertyFailure struct {
+	Property string
+	Err      error
+}
+
+// CheckEvents delivers a transition's events to the properties and
+// collects the violations, in property order. This is the single
+// property-delivery path shared by every engine: it applies the
+// EventMasker filter and, under copy-on-write forking, owns each
+// property (forcing its lazy copy) only when it actually receives the
+// batch — properties untouched by a transition stay shared with the
+// parent state.
+func (s *System) CheckEvents(events []Event) []PropertyFailure {
+	var fails []PropertyFailure
+	m := eventsMask(events)
+	for i, p := range s.props {
+		if em, ok := p.(EventMasker); ok && em.EventMask()&m == 0 {
+			continue
+		}
+		op := s.ownProp(i)
+		if err := op.OnEvents(s, events); err != nil {
+			fails = append(fails, PropertyFailure{Property: op.Name(), Err: err})
+		}
+	}
+	return fails
+}
+
+// CheckQuiescence runs every property's AtQuiescence check (read-only
+// by contract, so shared property instances are checked in place) and
+// collects the violations, in property order.
+func (s *System) CheckQuiescence() []PropertyFailure {
+	var fails []PropertyFailure
+	for _, p := range s.props {
+		if err := p.AtQuiescence(s); err != nil {
+			fails = append(fails, PropertyFailure{Property: p.Name(), Err: err})
+		}
+	}
+	return fails
 }

@@ -49,15 +49,14 @@ func (f faultState) key() string {
 	return fmt.Sprintf("f%d,%d,%d,%d,%d", f.drops, f.dups, f.reorders, f.linkFails, f.switchFails)
 }
 
-// faultTransitions enumerates the enabled fault transitions.
-func (s *System) faultTransitions() []Transition {
+// faultTransitions appends the enabled fault transitions to ts.
+func (s *System) faultTransitions(ts []Transition) []Transition {
 	fm := s.cfg.Faults
 	if !fm.enabled() {
-		return nil
+		return ts
 	}
-	var ts []Transition
-	for _, id := range s.swIDs {
-		sw := s.switches[id]
+	for i, sw := range s.switches {
+		id := s.swIDs[i]
 		if !sw.Alive {
 			continue
 		}
@@ -78,7 +77,7 @@ func (s *System) faultTransitions() []Transition {
 	}
 	if s.faults.linkFails < fm.MaxLinkFailures {
 		for _, l := range s.cfg.Topo.Links() {
-			if s.switches[l.A.Sw].PortUp(l.A.Port) {
+			if s.Switch(l.A.Sw).PortUp(l.A.Port) {
 				ts = append(ts, Transition{Kind: TFaultLinkDown, Sw: l.A.Sw, Port: l.A.Port})
 			}
 		}
@@ -86,26 +85,25 @@ func (s *System) faultTransitions() []Transition {
 	return ts
 }
 
-// applyFault executes one fault transition.
-func (s *System) applyFault(t Transition) []Event {
-	var events []Event
+// applyFault executes one fault transition, appending to events.
+func (s *System) applyFault(t Transition, events []Event) []Event {
 	switch t.Kind {
 	case TFaultDrop:
-		pkt, ok := s.switches[t.Sw].DropHead(t.Port)
+		pkt, ok := s.ownSwitch(t.Sw).DropHead(t.Port)
 		if !ok {
 			panic("core: fault drop on empty channel")
 		}
 		s.faults.drops++
 		events = append(events, Event{Kind: EvFaultDropped, Sw: t.Sw, Port: t.Port, Pkt: pkt})
 	case TFaultDuplicate:
-		dup, ok := s.switches[t.Sw].DupHead(t.Port, s.alloc)
+		dup, ok := s.ownSwitch(t.Sw).DupHead(t.Port, &s.alloc)
 		if !ok {
 			panic("core: fault duplicate on empty channel")
 		}
 		s.faults.dups++
 		events = append(events, Event{Kind: EvFaultDuplicated, Sw: t.Sw, Port: t.Port, Pkt: dup})
 	case TFaultReorder:
-		if !s.switches[t.Sw].SwapHead(t.Port) {
+		if !s.ownSwitch(t.Sw).SwapHead(t.Port) {
 			panic("core: fault reorder on short channel")
 		}
 		s.faults.reorders++
@@ -117,21 +115,21 @@ func (s *System) applyFault(t Transition) []Event {
 		if !ok {
 			panic("core: link failure on a non-link port")
 		}
-		s.switches[here.Sw].SetPortUp(here.Port, false)
-		s.switches[peer.Sw].SetPortUp(peer.Port, false)
+		s.ownSwitch(here.Sw).SetPortUp(here.Port, false)
+		s.ownSwitch(peer.Sw).SetPortUp(peer.Port, false)
 		s.notifyPortStatus(here, false)
 		s.notifyPortStatus(peer, false)
 		events = append(events, Event{Kind: EvLinkDown, Sw: t.Sw, Port: t.Port,
 			Note: peer.String()})
 	case TFaultSwitchDown:
 		s.faults.switchFails++
-		sw := s.switches[t.Sw]
+		sw := s.ownSwitch(t.Sw)
 		sw.Alive = false
 		sw.MarkDirty() // Alive and Table are mutated directly below
 		// The failed switch loses its soft state: rules, queued
 		// packets and buffered packets are gone (environment loss),
 		// and its ports — including the far ends of its links — go
-		// down.
+		// down. (Table.Delete copy-on-writes its own rule storage.)
 		sw.Table.Delete(openflow.MatchAll())
 		for _, p := range sw.PendingPorts() {
 			for {
@@ -149,11 +147,11 @@ func (s *System) applyFault(t Transition) []Event {
 			here := topo.PortKey{Sw: t.Sw, Port: p}
 			sw.SetPortUp(p, false)
 			if peer, ok := s.cfg.Topo.Peer(here); ok {
-				s.switches[peer.Sw].SetPortUp(peer.Port, false)
+				s.ownSwitch(peer.Sw).SetPortUp(peer.Port, false)
 				s.notifyPortStatus(peer, false)
 			}
 		}
-		s.ctrl.DeliverToController(openflow.Msg{Type: openflow.MsgSwitchLeave, Switch: t.Sw})
+		s.ownCtrl().DeliverToController(openflow.Msg{Type: openflow.MsgSwitchLeave, Switch: t.Sw})
 		events = append(events, Event{Kind: EvSwitchDown, Sw: t.Sw})
 	default:
 		panic(fmt.Sprintf("core: not a fault transition: %v", t.Kind))

@@ -29,46 +29,51 @@ func (s *System) Fingerprint() canon.Digest {
 	if s.cfg.OracleHash {
 		return canon.Hash128(s.OracleKey())
 	}
+	// Combining the incremental hashes fills every memoized component
+	// key as a side effect — the same walk warmKeyCaches does.
+	defer func() { s.cachesWarm = true }()
 	h := canon.NewHasher()
 	canonical := s.cfg.canonicalTables()
 	hashCounters := s.cfg.HashCounters || s.cfg.NoSwitchReduction
-	for _, id := range s.swIDs {
-		h.WriteUint64(s.switches[id].KeyHash64(canonical, hashCounters))
+	for _, sw := range s.switches {
+		h.WriteUint64(sw.KeyHash64(canonical, hashCounters))
 	}
 	h.WriteUint64(s.ctrl.AppKeyHash64())
 	h.WriteSep('|')
-	h.WriteString(s.ctrl.InKey())
+	h.WriteUint64(s.ctrl.InKeyHash64())
 	h.WriteSep('|')
-	h.WriteString(s.ctrl.OutKey())
+	h.WriteUint64(s.ctrl.OutKeyHash64())
 	h.WriteSep('|')
-	for _, id := range s.hostIDs {
-		h.WriteUint64(s.hosts[id].KeyHash64())
+	for _, host := range s.hosts {
+		h.WriteUint64(host.KeyHash64())
 	}
-	// Properties mutate outside Apply (OnEvents runs on the checker's
-	// side), so their small keys are rendered per state rather than
-	// dirty-tracked.
+	// Property keys are memoized with their hashes (props.cachedKey);
+	// non-KeyHasher properties fall back to hashing the rendered key.
 	for _, p := range s.props {
 		h.WriteString(p.Name())
 		h.WriteSep(':')
-		h.WriteString(p.StateKey())
+		if kh, ok := p.(KeyHasher); ok {
+			h.WriteUint64(kh.StateKeyHash64())
+		} else {
+			h.WriteString(p.StateKey())
+		}
 		h.WriteSep('\n')
 	}
 	if !s.cfg.DisableSE {
-		appKey := s.ctrl.AppKey()
-		for _, id := range s.hostIDs {
-			host := s.hosts[id]
-			if pkts, ok := s.caches.getPackets(s.packetsKeyWith(host, appKey)); ok {
+		app := s.ctrl.AppKeyDigest()
+		for _, host := range s.hosts {
+			if pkts, ok := s.caches.getPackets(packetsKeyWith(host, app)); ok {
 				h.WriteString("se:")
-				h.WriteInt(int(id))
+				h.WriteInt(int(host.ID))
 				h.WriteSep('=')
 				h.WriteInt(len(pkts))
 				h.WriteSep('\n')
 			}
 		}
-		for _, id := range s.swIDs {
-			if vs, ok := s.caches.getStats(s.statsKeyWith(id, appKey)); ok {
+		for _, sw := range s.swIDs {
+			if vs, ok := s.caches.getStats(statsCacheKey{sw: sw, app: app}); ok {
 				h.WriteString("ses:")
-				h.WriteInt(int(id))
+				h.WriteInt(int(sw))
 				h.WriteSep('=')
 				h.WriteInt(len(vs))
 				h.WriteSep('\n')
@@ -80,7 +85,18 @@ func (s *System) Fingerprint() canon.Digest {
 	h.WriteSep(' ')
 	writeGroupCounts(&h, s.groupCounts)
 	h.WriteSep(' ')
-	h.WriteString(s.faults.key())
+	// Fault budgets feed the hasher as raw ints (faultState.key's
+	// Sprintf was one alloc per explored state on the oracle-free path).
+	h.WriteSep('f')
+	h.WriteInt(s.faults.drops)
+	h.WriteSep(',')
+	h.WriteInt(s.faults.dups)
+	h.WriteSep(',')
+	h.WriteInt(s.faults.reorders)
+	h.WriteSep(',')
+	h.WriteInt(s.faults.linkFails)
+	h.WriteSep(',')
+	h.WriteInt(s.faults.switchFails)
 	return h.Sum()
 }
 

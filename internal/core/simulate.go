@@ -40,10 +40,8 @@ func (s *Simulator) Step(i int) ([]Event, *Violation, error) {
 	t := enabled[i]
 	events := s.sys.Apply(t)
 	s.trace = append(s.trace, t)
-	for _, p := range s.sys.Properties() {
-		if err := p.OnEvents(s.sys, events); err != nil {
-			return events, &Violation{Property: p.Name(), Err: err, Trace: s.Trace()}, nil
-		}
+	if fails := s.sys.CheckEvents(events); len(fails) > 0 {
+		return events, &Violation{Property: fails[0].Property, Err: fails[0].Err, Trace: s.Trace()}, nil
 	}
 	return events, nil, nil
 }

@@ -11,37 +11,55 @@ import (
 	"github.com/nice-go/nice/controller"
 	"github.com/nice-go/nice/hosts"
 	"github.com/nice-go/nice/internal/canon"
+	"github.com/nice-go/nice/internal/cow"
 	"github.com/nice-go/nice/internal/sym"
 	"github.com/nice-go/nice/openflow"
 	"github.com/nice-go/nice/topo"
 )
 
+// packetsCacheKey identifies one discover_packets memo entry: the
+// client, its attachment point, and the 128-bit digest of the
+// stringified controller state (Figure 5 keys client.packets by the
+// stringified state itself; the fixed-width digest makes the lookup
+// allocation-free on the hot path, at fingerprint-grade collision odds).
+type packetsCacheKey struct {
+	host openflow.HostID
+	loc  topo.PortKey
+	app  canon.Digest
+}
+
+// statsCacheKey is packetsCacheKey for discover_stats.
+type statsCacheKey struct {
+	sw  openflow.SwitchID
+	app canon.Digest
+}
+
 // Caches hold the results of discover transitions. They are shared
 // across the whole search (not cloned with states): concolic execution
 // is deterministic given the controller state, so the cache is a pure
-// memo of Figure 5's client.packets map, keyed by the stringified
+// memo of Figure 5's client.packets map, keyed by the digested
 // controller state. All accessors are safe for concurrent use, so one
 // Caches may be shared by the parallel workers of internal/search (and
 // across sequential searches, to warm later runs).
 type Caches struct {
 	mu      sync.RWMutex
-	packets map[string][]openflow.Header      // host|loc|appKey → relevant packets
-	stats   map[string][][]openflow.PortStats // sw|appKey → stats variants
-	seRuns  atomic.Int64                      // concolic explorations performed
+	packets map[packetsCacheKey][]openflow.Header
+	stats   map[statsCacheKey][][]openflow.PortStats
+	seRuns  atomic.Int64 // concolic explorations performed
 }
 
 // NewCaches builds an empty discover-cache set.
 func NewCaches() *Caches {
 	return &Caches{
-		packets: make(map[string][]openflow.Header),
-		stats:   make(map[string][][]openflow.PortStats),
+		packets: make(map[packetsCacheKey][]openflow.Header),
+		stats:   make(map[statsCacheKey][][]openflow.PortStats),
 	}
 }
 
 // SERuns reports how many concolic explorations have been performed.
 func (c *Caches) SERuns() int64 { return c.seRuns.Load() }
 
-func (c *Caches) getPackets(key string) ([]openflow.Header, bool) {
+func (c *Caches) getPackets(key packetsCacheKey) ([]openflow.Header, bool) {
 	c.mu.RLock()
 	v, ok := c.packets[key]
 	c.mu.RUnlock()
@@ -50,7 +68,7 @@ func (c *Caches) getPackets(key string) ([]openflow.Header, bool) {
 
 // putPackets inserts a discovery result; the first writer wins, and the
 // canonical (winning) value is returned so racing workers agree.
-func (c *Caches) putPackets(key string, v []openflow.Header) []openflow.Header {
+func (c *Caches) putPackets(key packetsCacheKey, v []openflow.Header) []openflow.Header {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, ok := c.packets[key]; ok {
@@ -60,14 +78,14 @@ func (c *Caches) putPackets(key string, v []openflow.Header) []openflow.Header {
 	return v
 }
 
-func (c *Caches) getStats(key string) ([][]openflow.PortStats, bool) {
+func (c *Caches) getStats(key statsCacheKey) ([][]openflow.PortStats, bool) {
 	c.mu.RLock()
 	v, ok := c.stats[key]
 	c.mu.RUnlock()
 	return v, ok
 }
 
-func (c *Caches) putStats(key string, v [][]openflow.PortStats) [][]openflow.PortStats {
+func (c *Caches) putStats(key statsCacheKey, v [][]openflow.PortStats) [][]openflow.PortStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, ok := c.stats[key]; ok {
@@ -79,19 +97,45 @@ func (c *Caches) putStats(key string, v [][]openflow.PortStats) [][]openflow.Por
 
 // System is one explored state of the modelled network: switches,
 // controller runtime (application + channels), hosts and property
-// observers. Systems are deep-copied as the search forks and hashed for
-// the explored-state set.
+// observers. Systems fork copy-on-write as the search explores (the
+// internal/cow protocol: Clone is O(#components) pointer copies, and a
+// component deep-copies lazily when first mutated) and are hashed for
+// the explored-state set; Config.DeepClone retains the eager deep-copy
+// forking path as the differential reference.
 type System struct {
 	cfg    *Config
 	caches *Caches
 
-	switches map[openflow.SwitchID]*openflow.Switch
+	// switches and hosts are stored as slices parallel to the sorted
+	// swIDs / hostIDs (not maps): forking copies a pointer slice
+	// instead of rebuilding a map, and the ID populations are tiny, so
+	// ID lookups scan.
+	switches []*openflow.Switch
 	swIDs    []openflow.SwitchID
 	ctrl     *controller.Runtime
-	hosts    map[openflow.HostID]*hosts.Host
+	hosts    []*hosts.Host
 	hostIDs  []openflow.HostID
-	alloc    *openflow.IDAlloc
+	alloc    openflow.IDAlloc
 	props    []Property
+
+	// epoch is this System's current copy-on-write ownership epoch: a
+	// component whose tag matches it is exclusively owned and may be
+	// mutated in place; anything else must be forked first (the
+	// ensureOwned step of internal/cow). Clone retires the epoch on
+	// both sides, freezing every shared component.
+	epoch uint64
+	// propsEpoch marks the props slice owned when equal to epoch;
+	// propsOwned is the per-property ownership bitmask within an owned
+	// slice (newSystem caps properties at 64).
+	propsEpoch uint64
+	propsOwned uint64
+	// groupEpoch marks groupCounts owned when equal to epoch.
+	groupEpoch uint64
+	// cachesWarm notes that every memoized component key is valid (set
+	// by warmKeyCaches and the incremental Fingerprint, cleared by the
+	// ensureOwned hooks): Clone skips the warming walk entirely while
+	// nothing has mutated since the last fingerprint.
+	cachesWarm bool
 
 	// lastGroup is the FLOW-IR scheduling mark: the effective flow
 	// group of the last packet-sending (or grouped environment)
@@ -125,26 +169,42 @@ func newSystem(cfg *Config, cc *Caches) *System {
 	if cfg.Topo == nil || cfg.App == nil {
 		panic("core: Config.Topo and Config.App are required")
 	}
+	if len(cfg.Properties) > 64 {
+		panic("core: at most 64 properties per Config (ownership bitmask)")
+	}
+	epoch := cow.NextEpoch()
 	s := &System{
 		cfg:         cfg,
 		caches:      cc,
-		switches:    make(map[openflow.SwitchID]*openflow.Switch),
 		ctrl:        controller.NewRuntime(cfg.App.Clone()),
-		hosts:       make(map[openflow.HostID]*hosts.Host),
-		alloc:       openflow.NewIDAlloc(),
+		alloc:       *openflow.NewIDAlloc(),
 		groupCounts: make(map[string]int),
+		epoch:       epoch,
+		propsEpoch:  epoch,
+		propsOwned:  ^uint64(0),
+		groupEpoch:  epoch,
 	}
+	s.ctrl.SetOwner(epoch)
 	for _, spec := range cfg.Topo.Switches() {
-		s.switches[spec.ID] = openflow.NewSwitch(spec.ID, spec.Ports)
 		s.swIDs = append(s.swIDs, spec.ID)
 	}
 	sort.Slice(s.swIDs, func(i, j int) bool { return s.swIDs[i] < s.swIDs[j] })
+	s.switches = make([]*openflow.Switch, len(s.swIDs))
+	for _, spec := range cfg.Topo.Switches() {
+		sw := openflow.NewSwitch(spec.ID, spec.Ports)
+		sw.SetOwner(epoch)
+		s.switches[s.swIndex(spec.ID)] = sw
+	}
 	for _, h := range cfg.Hosts {
-		hc := h.Clone()
-		s.hosts[hc.ID] = hc
-		s.hostIDs = append(s.hostIDs, hc.ID)
+		s.hostIDs = append(s.hostIDs, h.ID)
 	}
 	sort.Slice(s.hostIDs, func(i, j int) bool { return s.hostIDs[i] < s.hostIDs[j] })
+	s.hosts = make([]*hosts.Host, len(s.hostIDs))
+	for _, h := range cfg.Hosts {
+		hc := h.Clone()
+		hc.SetOwner(epoch)
+		s.hosts[s.hostIndex(hc.ID)] = hc
+	}
 	for _, p := range cfg.Properties {
 		s.props = append(s.props, p.Clone())
 	}
@@ -154,13 +214,12 @@ func newSystem(cfg *Config, cc *Caches) *System {
 	for _, spec := range cfg.Topo.Switches() {
 		for _, p := range spec.Ports {
 			if _, ok := cfg.Topo.Peer(topo.PortKey{Sw: spec.ID, Port: p}); ok {
-				s.switches[spec.ID].SetPortUp(p, true)
+				s.Switch(spec.ID).SetPortUp(p, true)
 			}
 		}
 	}
-	for _, id := range s.hostIDs {
-		h := s.hosts[id]
-		s.switches[h.Loc.Sw].SetPortUp(h.Loc.Port, true)
+	for _, h := range s.hosts {
+		s.Switch(h.Loc.Sw).SetPortUp(h.Loc.Port, true)
 	}
 
 	// Boot: all switches join, and the join handlers' output (e.g. the
@@ -170,38 +229,121 @@ func newSystem(cfg *Config, cc *Caches) *System {
 		s.ctrl.Dispatch(openflow.Msg{Type: openflow.MsgSwitchJoin, Switch: id})
 	}
 	s.drainControllerChannels(&boot, true)
-	for _, p := range s.props {
-		if err := p.OnEvents(s, boot); err != nil {
-			panic(fmt.Sprintf("core: property %s violated during boot: %v", p.Name(), err))
-		}
+	for _, f := range s.CheckEvents(boot) {
+		panic(fmt.Sprintf("core: property %s violated during boot: %v", f.Property, f.Err))
 	}
 	return s
 }
 
-// Clone deep-copies the state (sharing the immutable config and the
-// monotonic discover caches).
+// Clone forks the state (sharing the immutable config and the monotonic
+// discover caches). By default the fork is copy-on-write (the
+// internal/cow protocol): O(#components) pointer copies now, with each
+// component deep-copied lazily by the ensureOwned hooks at its mutation
+// sites. Config.DeepClone selects the retained eager deep-copy path —
+// the differential reference COW is tested against.
 func (s *System) Clone() *System {
+	if s.cfg.DeepClone {
+		return s.deepClone()
+	}
+	// Freeze the shared state: warm every memoized component key first
+	// (so frozen components are only ever read, never filled, even
+	// under the parallel engines), then retire this System's epoch so
+	// no component tag matches either side — the first write on either
+	// side forks the component it touches.
+	if !s.cachesWarm {
+		s.warmKeyCaches()
+		s.cachesWarm = true
+	}
+	s.epoch = cow.NextEpoch()
+	c, _ := systemPool.Get().(*System)
+	if c == nil {
+		c = &System{}
+	}
+	c.cfg = s.cfg
+	c.caches = s.caches
+	c.switches = append(c.switches[:0], s.switches...)
+	c.swIDs = s.swIDs
+	c.ctrl = s.ctrl
+	c.hosts = append(c.hosts[:0], s.hosts...)
+	c.hostIDs = s.hostIDs
+	c.alloc = s.alloc
+	c.props = s.props
+	c.epoch = cow.NextEpoch()
+	c.propsEpoch = 0
+	c.propsOwned = 0
+	c.groupEpoch = 0
+	c.lastGroup = s.lastGroup
+	c.groupCounts = s.groupCounts
+	c.faults = s.faults
+	c.cachesWarm = true
+	return c
+}
+
+// systemPool recycles System structs and their component-pointer slice
+// backings across forks: under copy-on-write these are the only
+// allocations Clone makes, and the engines know exactly when a fork is
+// dead (fully expanded, revisited, or pruned).
+var systemPool = sync.Pool{New: func() any { return &System{} }}
+
+// Release returns a dead System's struct and slice backings to the fork
+// pool. The caller asserts nothing references s anymore: its components
+// live on in any forks that borrowed them (only the struct and the
+// pointer slices are recycled), but s itself must never be used again.
+// Releasing is optional — unreleased Systems are ordinary garbage.
+func (s *System) Release() {
+	s.cfg = nil
+	s.caches = nil
+	s.ctrl = nil
+	s.swIDs = nil
+	s.hostIDs = nil
+	s.props = nil
+	s.groupCounts = nil
+	s.lastGroup = ""
+	for i := range s.switches {
+		s.switches[i] = nil
+	}
+	s.switches = s.switches[:0]
+	for i := range s.hosts {
+		s.hosts[i] = nil
+	}
+	s.hosts = s.hosts[:0]
+	systemPool.Put(s)
+}
+
+// deepClone is the retained deep-copy forking path: every component is
+// copied eagerly and owned by the child outright.
+func (s *System) deepClone() *System {
+	epoch := cow.NextEpoch()
 	c := &System{
 		cfg:         s.cfg,
 		caches:      s.caches,
-		switches:    make(map[openflow.SwitchID]*openflow.Switch, len(s.switches)),
+		switches:    make([]*openflow.Switch, len(s.switches)),
 		swIDs:       s.swIDs,
 		ctrl:        s.ctrl.Clone(),
-		hosts:       make(map[openflow.HostID]*hosts.Host, len(s.hosts)),
+		hosts:       make([]*hosts.Host, len(s.hosts)),
 		hostIDs:     s.hostIDs,
-		alloc:       s.alloc.Clone(),
+		alloc:       s.alloc,
+		epoch:       epoch,
+		propsEpoch:  epoch,
+		propsOwned:  ^uint64(0),
+		groupEpoch:  epoch,
 		lastGroup:   s.lastGroup,
 		groupCounts: make(map[string]int, len(s.groupCounts)),
 		faults:      s.faults,
 	}
+	c.ctrl.SetOwner(epoch)
 	for k, v := range s.groupCounts {
 		c.groupCounts[k] = v
 	}
-	for id, sw := range s.switches {
-		c.switches[id] = sw.Clone()
+	for i, sw := range s.switches {
+		n := sw.Clone()
+		n.SetOwner(epoch)
+		c.switches[i] = n
 	}
-	for id, h := range s.hosts {
-		c.hosts[id] = h.Clone()
+	for i, h := range s.hosts {
+		n := h.Clone()
+		n.SetOwner(epoch)
+		c.hosts[i] = n
 	}
 	c.props = make([]Property, len(s.props))
 	for i, p := range s.props {
@@ -210,14 +352,141 @@ func (s *System) Clone() *System {
 	return c
 }
 
-// Switch exposes a switch to properties and tooling.
-func (s *System) Switch(id openflow.SwitchID) *openflow.Switch { return s.switches[id] }
+// warmKeyCaches renders every memoized component key (a no-op when
+// already warm), maintaining cow invariant 3: at fork time all caches
+// are valid, so frozen shared components are never written — not even
+// by their own memoization — while forks read them concurrently.
+func (s *System) warmKeyCaches() {
+	canonical := s.cfg.canonicalTables()
+	hashCounters := s.cfg.HashCounters || s.cfg.NoSwitchReduction
+	for _, sw := range s.switches {
+		sw.KeyHash64(canonical, hashCounters)
+	}
+	s.ctrl.AppKeyHash64()
+	s.ctrl.InKey()
+	s.ctrl.OutKey()
+	for _, h := range s.hosts {
+		h.KeyHash64()
+	}
+	for _, p := range s.props {
+		_ = p.StateKey()
+		if kh, ok := p.(KeyHasher); ok {
+			// Fingerprint reads the memoized hash, so it must be warm
+			// too — a custom property may memoize it separately from
+			// the key string.
+			_ = kh.StateKeyHash64()
+		}
+	}
+}
+
+// swIndex resolves a switch ID to its slice position (the populations
+// are tiny; a scan beats a map).
+func (s *System) swIndex(id openflow.SwitchID) int {
+	for i, sid := range s.swIDs {
+		if sid == id {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: unknown switch %v", id))
+}
+
+// hostIndex is swIndex for hosts.
+func (s *System) hostIndex(id openflow.HostID) int {
+	for i, hid := range s.hostIDs {
+		if hid == id {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: unknown host %v", id))
+}
+
+// ownSwitch returns switch id, forking it first unless it is already
+// exclusively owned at the current epoch — the ensureOwned hook every
+// switch mutation site goes through.
+func (s *System) ownSwitch(id openflow.SwitchID) *openflow.Switch {
+	s.cachesWarm = false
+	i := s.swIndex(id)
+	sw := s.switches[i]
+	if !sw.OwnedBy(s.epoch) {
+		sw = sw.Fork(s.epoch)
+		s.switches[i] = sw
+	}
+	return sw
+}
+
+// ownHost is ownSwitch for hosts.
+func (s *System) ownHost(id openflow.HostID) *hosts.Host {
+	s.cachesWarm = false
+	i := s.hostIndex(id)
+	h := s.hosts[i]
+	if !h.OwnedBy(s.epoch) {
+		h = h.Fork(s.epoch)
+		s.hosts[i] = h
+	}
+	return h
+}
+
+// ownCtrl is ownSwitch for the controller runtime.
+func (s *System) ownCtrl() *controller.Runtime {
+	s.cachesWarm = false
+	if !s.ctrl.OwnedBy(s.epoch) {
+		s.ctrl = s.ctrl.Fork(s.epoch)
+	}
+	return s.ctrl
+}
+
+// ownProp returns property i for mutation (event delivery), copying the
+// props slice and the property itself on first use after a fork.
+func (s *System) ownProp(i int) Property {
+	s.cachesWarm = false
+	if s.propsEpoch != s.epoch {
+		s.props = append([]Property(nil), s.props...)
+		s.propsOwned = 0
+		s.propsEpoch = s.epoch
+	}
+	if s.propsOwned&(1<<uint(i)) == 0 {
+		s.props[i] = forkProperty(s.props[i])
+		s.propsOwned |= 1 << uint(i)
+	}
+	return s.props[i]
+}
+
+// ownGroupCounts copies the shared FLOW-IR instance counters before the
+// first write after a fork.
+func (s *System) ownGroupCounts() {
+	if s.groupEpoch == s.epoch {
+		return
+	}
+	m := make(map[string]int, len(s.groupCounts))
+	for k, v := range s.groupCounts {
+		m[k] = v
+	}
+	s.groupCounts = m
+	s.groupEpoch = s.epoch
+}
+
+// Switch exposes a switch to properties and tooling (nil when unknown).
+func (s *System) Switch(id openflow.SwitchID) *openflow.Switch {
+	for i, sid := range s.swIDs {
+		if sid == id {
+			return s.switches[i]
+		}
+	}
+	return nil
+}
 
 // SwitchIDs lists switches in sorted order.
 func (s *System) SwitchIDs() []openflow.SwitchID { return s.swIDs }
 
-// Host exposes a host's dynamic state.
-func (s *System) Host(id openflow.HostID) *hosts.Host { return s.hosts[id] }
+// Host exposes a host's dynamic state (nil when unknown).
+func (s *System) Host(id openflow.HostID) *hosts.Host {
+	for i, hid := range s.hostIDs {
+		if hid == id {
+			return s.hosts[i]
+		}
+	}
+	return nil
+}
 
 // HostIDs lists hosts in sorted order.
 func (s *System) HostIDs() []openflow.HostID { return s.hostIDs }
@@ -245,11 +514,11 @@ func (s *System) renderStateKey(fresh bool) string {
 	var b strings.Builder
 	canonical := s.cfg.canonicalTables()
 	hashCounters := s.cfg.HashCounters || s.cfg.NoSwitchReduction
-	for _, id := range s.swIDs {
+	for _, sw := range s.switches {
 		if fresh {
-			b.WriteString(s.switches[id].RenderStateKey(canonical, hashCounters))
+			b.WriteString(sw.RenderStateKey(canonical, hashCounters))
 		} else {
-			b.WriteString(s.switches[id].StateKey(canonical, hashCounters))
+			b.WriteString(sw.StateKey(canonical, hashCounters))
 		}
 		b.WriteByte('\n')
 	}
@@ -259,11 +528,11 @@ func (s *System) renderStateKey(fresh bool) string {
 		b.WriteString(s.ctrl.StateKey())
 	}
 	b.WriteByte('\n')
-	for _, id := range s.hostIDs {
+	for _, h := range s.hosts {
 		if fresh {
-			b.WriteString(s.hosts[id].RenderStateKey())
+			b.WriteString(h.RenderStateKey())
 		} else {
-			b.WriteString(s.hosts[id].StateKey())
+			b.WriteString(h.StateKey())
 		}
 		b.WriteByte('\n')
 	}
@@ -277,16 +546,15 @@ func (s *System) renderStateKey(fresh bool) string {
 	// (discover vs send), so cache presence for the *current* state is
 	// part of its identity — mirroring Figure 5's client.packets map.
 	if !s.cfg.DisableSE {
-		appKey := s.appKeyFor(fresh)
-		for _, id := range s.hostIDs {
-			h := s.hosts[id]
-			if pkts, ok := s.caches.getPackets(s.packetsKeyWith(h, appKey)); ok {
-				fmt.Fprintf(&b, "se:%d=%d\n", int(id), len(pkts))
+		app := s.appDigestFor(fresh)
+		for _, h := range s.hosts {
+			if pkts, ok := s.caches.getPackets(packetsKeyWith(h, app)); ok {
+				fmt.Fprintf(&b, "se:%d=%d\n", int(h.ID), len(pkts))
 			}
 		}
-		for _, id := range s.swIDs {
-			if vs, ok := s.caches.getStats(s.statsKeyWith(id, appKey)); ok {
-				fmt.Fprintf(&b, "ses:%d=%d\n", int(id), len(vs))
+		for _, sw := range s.swIDs {
+			if vs, ok := s.caches.getStats(statsCacheKey{sw: sw, app: app}); ok {
+				fmt.Fprintf(&b, "ses:%d=%d\n", int(sw), len(vs))
 			}
 		}
 	}
@@ -294,54 +562,45 @@ func (s *System) renderStateKey(fresh bool) string {
 	return b.String()
 }
 
-// appKeyFor returns the application key, cached or freshly rendered.
-func (s *System) appKeyFor(fresh bool) string {
+// appDigestFor returns the application-state digest, cached or freshly
+// rendered.
+func (s *System) appDigestFor(fresh bool) canon.Digest {
 	if fresh {
-		return s.ctrl.App.StateKey()
+		return canon.Hash128(s.ctrl.App.StateKey())
 	}
-	return s.ctrl.AppKey()
+	return s.ctrl.AppKeyDigest()
 }
 
 // Hash returns the hex digest form of Fingerprint (hash-based state
 // matching, §6); the explored-state sets use the raw Fingerprint.
 func (s *System) Hash() string { return s.Fingerprint().Hex() }
 
-func (s *System) packetsKey(h *hosts.Host) string {
-	return s.packetsKeyWith(h, s.ctrl.AppKey())
+func (s *System) packetsKey(h *hosts.Host) packetsCacheKey {
+	return packetsCacheKey{host: h.ID, loc: h.Loc, app: s.ctrl.AppKeyDigest()}
 }
 
-func (s *System) packetsKeyWith(h *hosts.Host, appKey string) string {
-	b := make([]byte, 0, 24+len(appKey))
-	b = strconv.AppendInt(b, int64(h.ID), 10)
-	b = append(b, "|s"...)
-	b = strconv.AppendInt(b, int64(h.Loc.Sw), 10)
-	b = append(b, ":p"...)
-	b = strconv.AppendInt(b, int64(h.Loc.Port), 10)
-	b = append(b, '|')
-	b = append(b, appKey...)
-	return string(b)
+func packetsKeyWith(h *hosts.Host, app canon.Digest) packetsCacheKey {
+	return packetsCacheKey{host: h.ID, loc: h.Loc, app: app}
 }
 
-func (s *System) statsKey(sw openflow.SwitchID) string {
-	return s.statsKeyWith(sw, s.ctrl.AppKey())
-}
-
-func (s *System) statsKeyWith(sw openflow.SwitchID, appKey string) string {
-	b := make([]byte, 0, 12+len(appKey))
-	b = strconv.AppendInt(b, int64(sw), 10)
-	b = append(b, '|')
-	b = append(b, appKey...)
-	return string(b)
+func (s *System) statsKey(sw openflow.SwitchID) statsCacheKey {
+	return statsCacheKey{sw: sw, app: s.ctrl.AppKeyDigest()}
 }
 
 // Enabled enumerates the enabled transitions in deterministic order,
 // already filtered and ordered by the active search strategies.
-func (s *System) Enabled() []Transition {
-	var ts []Transition
+func (s *System) Enabled() []Transition { return s.EnabledInto(nil) }
+
+// EnabledInto is Enabled with a caller-supplied buffer: transitions are
+// appended to buf (reusing its backing array), so hot loops can pool
+// the allocation. Transitions are self-contained values — callers may
+// copy any of them and release the buffer.
+func (s *System) EnabledInto(buf []Transition) []Transition {
+	ts := buf[:0]
 
 	// Host transitions.
-	for _, id := range s.hostIDs {
-		h := s.hosts[id]
+	for i, h := range s.hosts {
+		id := s.hostIDs[i]
 		if h.CanSend() {
 			if s.cfg.DisableSE {
 				for _, hdr := range h.NextRepertoire() {
@@ -363,9 +622,14 @@ func (s *System) Enabled() []Transition {
 		}
 	}
 
-	// Controller transitions.
-	for _, sw := range s.ctrl.PendingIn() {
-		head, _ := s.ctrl.HeadIn(sw)
+	// Controller transitions. Iterating the sorted switch IDs and
+	// peeking each channel head is equivalent to PendingIn() (messages
+	// only come from known switches) without allocating the ID list.
+	for _, sw := range s.swIDs {
+		head, ok := s.ctrl.HeadIn(sw)
+		if !ok {
+			continue
+		}
 		if head.Type == openflow.MsgStatsReply && !s.cfg.DisableSE && !s.cfg.NoDelay {
 			if variants, ok := s.caches.getStats(s.statsKey(sw)); ok {
 				for _, v := range variants {
@@ -387,8 +651,8 @@ func (s *System) Enabled() []Transition {
 	}
 
 	// Switch transitions.
-	for _, id := range s.swIDs {
-		sw := s.switches[id]
+	for i, sw := range s.switches {
+		id := s.swIDs[i]
 		if !sw.Alive {
 			continue
 		}
@@ -407,7 +671,7 @@ func (s *System) Enabled() []Transition {
 		}
 	}
 
-	ts = append(ts, s.faultTransitions()...)
+	ts = s.faultTransitions(ts)
 	ts = s.applyFlowIR(ts)
 	ts = s.applyUnusual(ts)
 	return ts
@@ -445,11 +709,25 @@ func (s *System) effectiveGroup(hdr openflow.Header, advance bool) string {
 	n := s.groupCounts[key]
 	if newInstance {
 		if advance {
+			s.ownGroupCounts()
 			s.groupCounts[key] = n + 1
 		}
 		n++
 	}
-	return fmt.Sprintf("%s#%04d", key, n)
+	b := make([]byte, 0, len(key)+5)
+	b = append(b, key...)
+	b = append(b, '#')
+	if n < 1000 { // zero-pad to 4 digits, as %04d did
+		b = append(b, '0')
+		if n < 100 {
+			b = append(b, '0')
+		}
+		if n < 10 {
+			b = append(b, '0')
+		}
+	}
+	b = strconv.AppendInt(b, int64(n), 10)
+	return string(b)
 }
 
 // applyUnusual reorders exploration so that unusual delays come first:
@@ -489,21 +767,25 @@ func unusualClass(t Transition) int {
 func (s *System) Quiescent() bool { return len(s.Enabled()) == 0 }
 
 // Apply executes one transition in place, returning its events.
-func (s *System) Apply(t Transition) []Event {
-	var events []Event
+func (s *System) Apply(t Transition) []Event { return s.ApplyInto(t, nil) }
+
+// ApplyInto is Apply with a caller-supplied event buffer: events are
+// appended to buf (reusing its backing array), so hot loops can pool
+// the allocation. The returned slice is only valid until the next
+// ApplyInto call that reuses buf; nothing in the system retains it.
+func (s *System) ApplyInto(t Transition, buf []Event) []Event {
+	events := buf[:0]
 	switch t.Kind {
 	case THostSend:
-		h := s.hosts[t.Host]
-		h.ConsumeSend()
+		s.ownHost(t.Host).ConsumeSend()
 		s.markGroup(t.Hdr)
 		s.inject(t.Host, t.Hdr, &events)
 	case THostReply:
-		h := s.hosts[t.Host]
-		hdr := h.TakeReply()
+		hdr := s.ownHost(t.Host).TakeReply()
 		s.markGroup(hdr)
 		s.inject(t.Host, hdr, &events)
 	case THostDiscover:
-		h := s.hosts[t.Host]
+		h := s.Host(t.Host)
 		key := s.packetsKey(h)
 		pkts, ok := s.caches.getPackets(key)
 		if !ok {
@@ -512,7 +794,7 @@ func (s *System) Apply(t Transition) []Event {
 		events = append(events, Event{Kind: EvCtrlDispatch, Host: t.Host,
 			Note: fmt.Sprintf("discover_packets: %d classes", len(pkts))})
 	case THostMove:
-		h := s.hosts[t.Host]
+		h := s.ownHost(t.Host)
 		old := h.Loc
 		loc, ok := h.Move()
 		if !ok {
@@ -521,19 +803,20 @@ func (s *System) Apply(t Transition) []Event {
 		// The vacated port goes down (unless a link or another host
 		// still occupies it); the new port comes up.
 		if !s.portOccupied(old) {
-			s.switches[old.Sw].SetPortUp(old.Port, false)
+			s.ownSwitch(old.Sw).SetPortUp(old.Port, false)
 			s.notifyPortStatus(old, false)
 		}
-		s.switches[loc.Sw].SetPortUp(loc.Port, true)
+		s.ownSwitch(loc.Sw).SetPortUp(loc.Port, true)
 		s.notifyPortStatus(loc, true)
 		events = append(events, Event{Kind: EvHostMove, Host: t.Host, Loc: loc})
 	case TCtrlDispatch:
-		msg, ok := s.ctrl.PopIn(t.Sw)
+		ctrl := s.ownCtrl()
+		msg, ok := ctrl.PopIn(t.Sw)
 		if !ok {
 			panic("core: ctrl_dispatch with empty channel")
 		}
 		events = append(events, Event{Kind: EvCtrlDispatch, Sw: t.Sw, Msg: msg})
-		s.ctrl.Dispatch(msg)
+		ctrl.Dispatch(msg)
 		s.noDelayFixpoint(&events)
 	case TCtrlDiscoverStats:
 		key := s.statsKey(t.Sw)
@@ -544,48 +827,47 @@ func (s *System) Apply(t Transition) []Event {
 		events = append(events, Event{Kind: EvCtrlDispatch, Sw: t.Sw,
 			Note: fmt.Sprintf("discover_stats: %d classes", len(variants))})
 	case TCtrlProcessStats:
-		msg, ok := s.ctrl.PopIn(t.Sw)
+		ctrl := s.ownCtrl()
+		msg, ok := ctrl.PopIn(t.Sw)
 		if !ok || msg.Type != openflow.MsgStatsReply {
 			panic("core: process_stats without pending stats reply")
 		}
 		events = append(events, Event{Kind: EvStats, Sw: t.Sw, Stats: t.Stats})
-		s.ctrl.DispatchStats(t.Sw, t.Stats)
+		ctrl.DispatchStats(t.Sw, t.Stats)
 		s.noDelayFixpoint(&events)
 	case TCtrlEnv:
 		events = append(events, Event{Kind: EvEnv, Note: t.Env})
 		s.markEnvGroup(t.Env)
-		s.ctrl.DispatchEnv(t.Env)
+		s.ownCtrl().DispatchEnv(t.Env)
 		if s.cfg.AtomicEnv {
 			s.drainOutbound(&events)
 		}
 		s.noDelayFixpoint(&events)
 	case TSwitchProcess:
-		sw := s.switches[t.Sw]
-		res := sw.ProcessPackets(s.alloc)
+		res := s.ownSwitch(t.Sw).ProcessPackets(&s.alloc)
 		s.route(t.Sw, res, &events)
 		s.noDelayFixpoint(&events)
 	case TSwitchProcessPort:
-		sw := s.switches[t.Sw]
-		res, ok := sw.ProcessPacketOnPort(t.Port, s.alloc)
+		res, ok := s.ownSwitch(t.Sw).ProcessPacketOnPort(t.Port, &s.alloc)
 		if !ok {
 			panic("core: process_pkt_port with empty channel")
 		}
 		s.route(t.Sw, res, &events)
 		s.noDelayFixpoint(&events)
 	case TSwitchOF:
-		msg, ok := s.ctrl.PopOut(t.Sw)
+		msg, ok := s.ownCtrl().PopOut(t.Sw)
 		if !ok {
 			panic("core: process_of with empty channel")
 		}
-		res := s.switches[t.Sw].ApplyOF(msg, s.alloc)
+		res := s.ownSwitch(t.Sw).ApplyOF(msg, &s.alloc)
 		s.route(t.Sw, res, &events)
 		s.noDelayFixpoint(&events)
 	case TSwitchTick:
-		for _, r := range s.switches[t.Sw].ExpireTimers() {
+		for _, r := range s.ownSwitch(t.Sw).ExpireTimers() {
 			events = append(events, Event{Kind: EvRuleExpired, Sw: t.Sw, Rule: r})
 		}
 	case TFaultDrop, TFaultDuplicate, TFaultReorder, TFaultLinkDown, TFaultSwitchDown:
-		events = s.applyFault(t)
+		events = s.applyFault(t, events)
 	default:
 		panic(fmt.Sprintf("core: unknown transition %v", t.Kind))
 	}
@@ -598,8 +880,8 @@ func (s *System) portOccupied(k topo.PortKey) bool {
 	if _, ok := s.cfg.Topo.Peer(k); ok {
 		return true
 	}
-	for _, id := range s.hostIDs {
-		if s.hosts[id].Loc == k {
+	for _, h := range s.hosts {
+		if h.Loc == k {
 			return true
 		}
 	}
@@ -612,7 +894,7 @@ func (s *System) notifyPortStatus(k topo.PortKey, up bool) {
 	if !s.cfg.EnablePortStatus {
 		return
 	}
-	s.ctrl.DeliverToController(openflow.Msg{
+	s.ownCtrl().DeliverToController(openflow.Msg{
 		Type: openflow.MsgPortStatus, Switch: k.Sw, InPort: k.Port, PortUp: up,
 	})
 }
@@ -632,11 +914,11 @@ func (s *System) markEnvGroup(event string) {
 // inject places a host-sent packet on the ingress channel at the host's
 // current location.
 func (s *System) inject(host openflow.HostID, hdr openflow.Header, events *[]Event) {
-	h := s.hosts[host]
+	h := s.Host(host)
 	id := s.alloc.Next()
 	pkt := openflow.Packet{Header: hdr, ID: id, Orig: id}
 	*events = append(*events, Event{Kind: EvHostSend, Host: host, Pkt: pkt, Loc: h.Loc})
-	sw := s.switches[h.Loc.Sw]
+	sw := s.ownSwitch(h.Loc.Sw)
 	sw.Enqueue(h.Loc.Port, pkt)
 	*events = append(*events, Event{Kind: EvArrive, Sw: h.Loc.Sw, Port: h.Loc.Port, Pkt: pkt})
 }
@@ -675,7 +957,7 @@ func (s *System) route(swID openflow.SwitchID, res openflow.ProcResult, events *
 			*events = append(*events, Event{Kind: EvPacketIn, Sw: swID, Port: m.InPort,
 				Pkt: m.Packet, Msg: m})
 		}
-		s.ctrl.DeliverToController(m)
+		s.ownCtrl().DeliverToController(m)
 	}
 	for _, out := range res.Outputs {
 		s.deliver(swID, out, events)
@@ -687,20 +969,20 @@ func (s *System) route(swID openflow.SwitchID, res openflow.ProcResult, events *
 func (s *System) deliver(swID openflow.SwitchID, out openflow.PortOutput, events *[]Event) {
 	here := topo.PortKey{Sw: swID, Port: out.Port}
 	if peer, ok := s.cfg.Topo.Peer(here); ok {
-		if !s.switches[peer.Sw].Alive {
+		if !s.Switch(peer.Sw).Alive {
 			// The far end is a failed switch: environment loss.
 			*events = append(*events, Event{Kind: EvFaultDropped, Sw: peer.Sw,
 				Port: peer.Port, Pkt: out.Pkt})
 			return
 		}
-		s.switches[peer.Sw].Enqueue(peer.Port, out.Pkt)
+		s.ownSwitch(peer.Sw).Enqueue(peer.Port, out.Pkt)
 		*events = append(*events, Event{Kind: EvArrive, Sw: peer.Sw, Port: peer.Port, Pkt: out.Pkt})
 		return
 	}
-	for _, id := range s.hostIDs {
-		h := s.hosts[id]
+	for i, h := range s.hosts {
 		if h.Loc == here {
-			h.Receive(out.Pkt.Header)
+			id := s.hostIDs[i]
+			s.ownHost(id).Receive(out.Pkt.Header)
 			*events = append(*events, Event{Kind: EvDelivered, Host: id, Pkt: out.Pkt, Loc: here})
 			return
 		}
@@ -721,13 +1003,15 @@ func (s *System) noDelayFixpoint(events *[]Event) {
 // drainOutbound applies all currently queued controller→switch messages
 // (and only those) within the current transition.
 func (s *System) drainOutbound(events *[]Event) {
-	for _, sw := range s.ctrl.PendingOut() {
+	// Iterating the sorted switch IDs matches PendingOut() order
+	// without allocating the pending list.
+	for _, sw := range s.swIDs {
 		for {
-			msg, ok := s.ctrl.PopOut(sw)
-			if !ok {
+			if _, ok := s.ctrl.HeadOut(sw); !ok {
 				break
 			}
-			res := s.switches[sw].ApplyOF(msg, s.alloc)
+			msg, _ := s.ownCtrl().PopOut(sw)
+			res := s.ownSwitch(sw).ApplyOF(msg, &s.alloc)
 			s.route(sw, res, events)
 		}
 	}
@@ -740,24 +1024,25 @@ func (s *System) drainOutbound(events *[]Event) {
 func (s *System) drainControllerChannels(events *[]Event, boot bool) {
 	for {
 		progress := false
-		for _, sw := range s.ctrl.PendingOut() {
+		for _, sw := range s.swIDs {
 			for {
-				msg, ok := s.ctrl.PopOut(sw)
-				if !ok {
+				if _, ok := s.ctrl.HeadOut(sw); !ok {
 					break
 				}
-				res := s.switches[sw].ApplyOF(msg, s.alloc)
+				msg, _ := s.ownCtrl().PopOut(sw)
+				res := s.ownSwitch(sw).ApplyOF(msg, &s.alloc)
 				s.route(sw, res, events)
 				progress = true
 			}
 		}
-		for _, sw := range s.ctrl.PendingIn() {
-			msg, ok := s.ctrl.PopIn(sw)
-			if !ok {
+		for _, sw := range s.swIDs {
+			if _, ok := s.ctrl.HeadIn(sw); !ok {
 				continue
 			}
+			ctrl := s.ownCtrl()
+			msg, _ := ctrl.PopIn(sw)
 			*events = append(*events, Event{Kind: EvCtrlDispatch, Sw: sw, Msg: msg})
-			s.ctrl.Dispatch(msg)
+			ctrl.Dispatch(msg)
 			progress = true
 		}
 		if !progress {
@@ -814,7 +1099,7 @@ func (s *System) discoverPackets(h *hosts.Host) []openflow.Header {
 // feasible path (§3.3's discover_stats).
 func (s *System) discoverStats(swID openflow.SwitchID) [][]openflow.PortStats {
 	s.caches.seRuns.Add(1)
-	ports := s.switches[swID].Ports
+	ports := s.Switch(swID).Ports
 	levels := s.cfg.statsLevels()
 	seedVals := make([]uint64, len(ports))
 	for i := range seedVals {

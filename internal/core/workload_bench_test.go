@@ -1,0 +1,22 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice/scenarios"
+)
+
+func BenchmarkProfilePyswitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := scenarios.MustLookup("pyswitch-bench").Config(3)
+		core.NewChecker(cfg).Run()
+	}
+}
+
+func BenchmarkProfileLB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := scenarios.MustLookup("loadbalancer-bench").Config(4)
+		core.NewChecker(cfg).Run()
+	}
+}

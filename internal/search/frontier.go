@@ -10,13 +10,50 @@ import (
 )
 
 // item is one unit of frontier work: an unexpanded system state plus
-// the replayable trace prefix that reached it. The trace doubles as the
-// depth (len) and as the reproduction recipe for any violation found
-// beneath it; prefixes share backing arrays because children are forked
-// with capacity-clamped appends (never mutated in place).
+// the path that reached it, as a parent-pointer chain. Sibling children
+// share the whole prefix through one pointer — materializing a
+// replayable trace (Trace) happens only when a violation is recorded,
+// so the hot path never copies O(depth) transition prefixes.
 type item struct {
-	sys   *core.System
-	trace []core.Transition
+	sys  *core.System
+	path *pathNode
+}
+
+// pathNode is one link of the reversed reach-path chain.
+type pathNode struct {
+	t      core.Transition
+	parent *pathNode
+	depth  int
+}
+
+// Depth is the trace length the node represents (nil = root, 0).
+func (n *pathNode) Depth() int {
+	if n == nil {
+		return 0
+	}
+	return n.depth
+}
+
+// Trace materializes the replayable transition sequence root→node.
+func (n *pathNode) Trace() []core.Transition {
+	if n == nil {
+		return nil
+	}
+	out := make([]core.Transition, n.depth)
+	for cur := n; cur != nil; cur = cur.parent {
+		out[cur.depth-1] = cur.t
+	}
+	return out
+}
+
+// traceWith materializes the node's trace extended by one transition.
+func (n *pathNode) traceWith(t core.Transition) []core.Transition {
+	out := make([]core.Transition, n.Depth()+1)
+	out[len(out)-1] = t
+	for cur := n; cur != nil; cur = cur.parent {
+		out[cur.depth-1] = cur.t
+	}
+	return out
 }
 
 // frontier is the work-stealing scheduler: one deque per worker. The

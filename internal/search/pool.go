@@ -1,0 +1,54 @@
+package search
+
+import (
+	"sync"
+
+	"github.com/nice-go/nice/internal/core"
+)
+
+// Copy-on-write forking cut the per-transition cost from "deep-copy the
+// whole system" to "copy the one component that changed", which
+// promotes the remaining per-transition allocations — the event batch
+// (whose elements carry openflow.Msg payloads) and the enabled-
+// transition scratch of each frontier expansion — to the top of the
+// allocation profile. Both live only within one expansion step and are
+// never retained by the system or the report, so workers recycle them
+// through sync.Pools. Pools hold pointers to slices (not slices) so
+// putting a buffer back does not itself allocate a header.
+
+var eventPool = sync.Pool{
+	New: func() any {
+		buf := make([]core.Event, 0, 64)
+		return &buf
+	},
+}
+
+// getEventBuf borrows an empty event buffer; pass it to
+// core.System.ApplyInto and return the result to putEventBuf when the
+// batch is dead (after property checks).
+func getEventBuf() []core.Event {
+	return (*eventPool.Get().(*[]core.Event))[:0]
+}
+
+func putEventBuf(buf []core.Event) {
+	eventPool.Put(&buf)
+}
+
+var transPool = sync.Pool{
+	New: func() any {
+		buf := make([]core.Transition, 0, 32)
+		return &buf
+	},
+}
+
+// getTransBuf borrows an empty enabled-transition buffer for
+// core.System.EnabledInto; return it to putTransBuf once the expansion
+// loop is done with it (children hold copies of the transitions they
+// need — a Transition is self-contained by value).
+func getTransBuf() []core.Transition {
+	return (*transPool.Get().(*[]core.Transition))[:0]
+}
+
+func putTransBuf(buf []core.Transition) {
+	transPool.Put(&buf)
+}

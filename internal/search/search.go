@@ -327,6 +327,10 @@ func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Rep
 					return
 				}
 				e.expand(w, it, st)
+				// The item is fully expanded: recycle its System's
+				// struct and slice backings (components live on in
+				// the pushed children that borrowed them).
+				it.sys.Release()
 				st.frontier.done()
 			}
 		}(w)
@@ -376,20 +380,29 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 	if st.ctl.stop.Load() {
 		return
 	}
-	enabled := it.sys.Enabled()
+	enabled := it.sys.EnabledInto(getTransBuf())
+	defer putTransBuf(enabled)
 	if len(enabled) == 0 {
-		for _, p := range it.sys.Properties() {
-			if err := p.AtQuiescence(it.sys); err != nil {
-				e.record(core.Violation{Property: p.Name(), Err: err,
-					Trace: it.trace, Quiescence: true}, st)
-			}
+		for _, f := range it.sys.CheckQuiescence() {
+			e.record(core.Violation{Property: f.Property, Err: f.Err,
+				Trace: it.path.Trace(), Quiescence: true}, st)
 		}
 		return
 	}
-	if len(it.trace) >= e.cfg.DepthBound() {
+	depth := it.path.Depth()
+	if depth >= e.cfg.DepthBound() {
 		st.truncated.Add(1)
 		return
 	}
+
+	// The per-transition event batch lives only until the property
+	// checks below, so one pooled buffer serves the whole expansion —
+	// the hot-loop allocation COW forking exposes as the next
+	// bottleneck.
+	events := getEventBuf()
+	// Deferred via closure: ApplyInto may grow the buffer, and the
+	// grown backing is the one worth pooling.
+	defer func() { putEventBuf(events) }()
 
 	for _, t := range enabled {
 		if st.ctl.stop.Load() {
@@ -403,19 +416,16 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 			return
 		}
 		child := it.sys.Clone()
-		events := child.Apply(t)
-		// Capacity-clamped: forks for sibling transitions each copy,
-		// so concurrent workers never share a writable tail.
-		next := append(it.trace[:len(it.trace):len(it.trace)], t)
+		events = child.ApplyInto(t, events)
 
 		violated := false
-		for _, p := range child.Properties() {
-			if err := p.OnEvents(child, events); err != nil {
-				e.record(core.Violation{Property: p.Name(), Err: err, Trace: next}, st)
-				violated = true
-			}
+		for _, f := range child.CheckEvents(events) {
+			e.record(core.Violation{Property: f.Property, Err: f.Err,
+				Trace: it.path.traceWith(t)}, st)
+			violated = true
 		}
 		if violated {
+			child.Release()
 			continue
 		}
 		if st.seen.Add(child.Fingerprint()) {
@@ -423,11 +433,13 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 				st.ctl.abort(core.StopMaxStates)
 			}
 			if st.obs != nil {
-				maxInt64(&st.maxDepth, int64(len(next)))
+				maxInt64(&st.maxDepth, int64(depth+1))
 			}
-			st.frontier.push(w, item{sys: child, trace: next})
+			st.frontier.push(w, item{sys: child,
+				path: &pathNode{t: t, parent: it.path, depth: depth + 1}})
 		} else {
 			st.revisits.Add(1)
+			child.Release()
 		}
 	}
 }

@@ -250,19 +250,21 @@ func TestSeenSet(t *testing.T) {
 func TestFrontierStealing(t *testing.T) {
 	var stop atomic.Bool
 	f := newFrontier(2, &stop)
-	a := item{trace: nil}
-	b := item{trace: make([]core.Transition, 1)}
-	c := item{trace: make([]core.Transition, 2)}
+	d1 := &pathNode{depth: 1}
+	d2 := &pathNode{parent: d1, depth: 2}
+	a := item{}
+	b := item{path: d1}
+	c := item{path: d2}
 	f.push(0, a)
 	f.push(0, b)
 	f.push(0, c)
-	if it, ok := f.steal(1); !ok || len(it.trace) != 0 {
+	if it, ok := f.steal(1); !ok || it.path.Depth() != 0 {
 		t.Fatalf("thief should take the oldest item (depth 0)")
 	}
-	if it, ok := f.popLocal(0); !ok || len(it.trace) != 2 {
+	if it, ok := f.popLocal(0); !ok || it.path.Depth() != 2 {
 		t.Fatalf("owner should pop the newest item (depth 2)")
 	}
-	if it, ok := f.popLocal(0); !ok || len(it.trace) != 1 {
+	if it, ok := f.popLocal(0); !ok || it.path.Depth() != 1 {
 		t.Fatalf("owner should pop the remaining item (depth 1)")
 	}
 	if _, ok := f.popLocal(0); ok {

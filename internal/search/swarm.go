@@ -102,6 +102,8 @@ func (e *Engine) walk(seed int64, steps int, st *swarmState) {
 	rng := rand.New(rand.NewSource(seed))
 	sys := core.NewSystemWith(e.cfg, e.caches)
 	var trace []core.Transition
+	events := getEventBuf()
+	defer func() { putEventBuf(events) }()
 	for step := 0; step < steps; step++ {
 		if st.ctl.stop.Load() {
 			return
@@ -113,11 +115,9 @@ func (e *Engine) walk(seed int64, steps int, st *swarmState) {
 		}
 		enabled := sys.Enabled()
 		if len(enabled) == 0 {
-			for _, p := range sys.Properties() {
-				if err := p.AtQuiescence(sys); err != nil {
-					e.recordSwarm(core.Violation{Property: p.Name(), Err: err,
-						Trace: cloneTrace(trace), Quiescence: true}, st)
-				}
+			for _, f := range sys.CheckQuiescence() {
+				e.recordSwarm(core.Violation{Property: f.Property, Err: f.Err,
+					Trace: cloneTrace(trace), Quiescence: true}, st)
 			}
 			return
 		}
@@ -129,15 +129,13 @@ func (e *Engine) walk(seed int64, steps int, st *swarmState) {
 			st.ctl.abort(core.StopMaxTransitions)
 			return
 		}
-		events := sys.Apply(t)
+		events = sys.ApplyInto(t, events)
 		trace = append(trace, t)
 		violated := false
-		for _, p := range sys.Properties() {
-			if err := p.OnEvents(sys, events); err != nil {
-				e.recordSwarm(core.Violation{Property: p.Name(), Err: err,
-					Trace: cloneTrace(trace)}, st)
-				violated = true
-			}
+		for _, f := range sys.CheckEvents(events) {
+			e.recordSwarm(core.Violation{Property: f.Property, Err: f.Err,
+				Trace: cloneTrace(trace)}, st)
+			violated = true
 		}
 		if violated {
 			return

@@ -52,20 +52,75 @@ func (r Rule) String() string { return r.Key() }
 // representation (§2.2.2 "Merging equivalent flow tables") semantically
 // safe: two tables holding the same rule set behave identically no matter
 // the order rules arrived in.
+//
+// Tables participate in the copy-on-write forking protocol
+// (internal/cow): Fork shares the rule storage with the receiver and
+// every mutating method copies it first. Installed rules' Action slices
+// are treated as immutable — nothing in the model rewrites an action
+// list in place — so rule-element copies share them.
 type FlowTable struct {
 	rules []Rule
+	// borrowed marks rule storage shared with the table this one was
+	// forked from; the first mutation copies the elements and clears it.
+	borrowed bool
+	// key caches one rendered table key (canonical or insertion-order,
+	// with its counter variant), valid until the next rule mutation.
+	// Queue-only switch mutations re-render the switch key but reuse
+	// this — re-rendering every rule per enqueue dominated the
+	// load-balancer workloads' allocation profile.
+	key tableKeyCache
+}
+
+// tableKeyCache caches one rendered table key with its parameters.
+type tableKeyCache struct {
+	str       string
+	valid     bool
+	canonical bool
+	counters  bool
 }
 
 // NewFlowTable returns an empty table.
 func NewFlowTable() *FlowTable { return &FlowTable{} }
 
-// Clone deep-copies the table.
+// Clone deep-copies the table (rules and action lists) — the retained
+// deep-copy forking path; Fork is the copy-on-write fast path.
 func (t *FlowTable) Clone() *FlowTable {
 	c := &FlowTable{rules: make([]Rule, len(t.rules))}
 	for i, r := range t.rules {
 		c.rules[i] = r.CloneRule()
 	}
 	return c
+}
+
+// Fork returns a copy-on-write fork: a new table borrowing the
+// receiver's rule storage. The receiver must be frozen (not mutated)
+// while the fork may still read it; the fork copies before its own
+// first mutation.
+func (t *FlowTable) Fork() *FlowTable {
+	c := &FlowTable{}
+	c.forkInto(t)
+	return c
+}
+
+// forkInto initializes t as a copy-on-write fork of src — Fork's
+// allocation-free form for tables embedded by value.
+func (t *FlowTable) forkInto(src *FlowTable) {
+	t.rules = src.rules[:len(src.rules):len(src.rules)]
+	t.borrowed = true
+}
+
+// ensureOwned copies borrowed rule storage before the first mutation.
+// Element copies share Action slices (immutable once installed).
+func (t *FlowTable) ensureOwned() {
+	if !t.borrowed {
+		return
+	}
+	// One slot of headroom: the common ensureOwned trigger is an
+	// Install about to append.
+	rules := make([]Rule, len(t.rules), len(t.rules)+1)
+	copy(rules, t.rules)
+	t.rules = rules
+	t.borrowed = false
 }
 
 // Len returns the number of installed rules.
@@ -81,6 +136,9 @@ func (t *FlowTable) Rules() []Rule { return t.rules }
 // order — which is exactly the semantically irrelevant detail the
 // canonical representation neutralizes and the NO-SWITCH-REDUCTION
 // baseline of Table 1 hashes verbatim.
+// Install's stored rule owns a private copy of the action list (the
+// caller may reuse its slice); once installed, actions are immutable,
+// which lets table forks and rule-element copies share them.
 func (t *FlowTable) Install(r Rule) {
 	r = r.CloneRule()
 	t.deleteWhere(func(old Rule) bool {
@@ -104,6 +162,8 @@ func (t *FlowTable) DeleteStrict(pattern Match, priority int) int {
 }
 
 func (t *FlowTable) deleteWhere(pred func(Rule) bool) int {
+	t.ensureOwned()
+	t.key.valid = false
 	kept := t.rules[:0]
 	removed := 0
 	for _, r := range t.rules {
@@ -154,6 +214,12 @@ func ruleLess(a, b Rule) bool {
 
 // Hit updates rule idx's counters for one matched packet.
 func (t *FlowTable) Hit(idx int) {
+	t.ensureOwned()
+	// Counters are outside the default (counter-free) rendering, so a
+	// cached counter-free key survives hits.
+	if t.key.counters {
+		t.key.valid = false
+	}
 	t.rules[idx].PacketCount++
 	t.rules[idx].ByteCount += 100
 	t.rules[idx].IdleAge = 0
@@ -163,6 +229,8 @@ func (t *FlowTable) Hit(idx int) {
 // or hard timeout has elapsed, returning the expired rules. This backs
 // the optional timer-expiry environment transition.
 func (t *FlowTable) Tick() []Rule {
+	t.ensureOwned()
+	t.key.valid = false
 	var expired []Rule
 	kept := t.rules[:0]
 	for _, r := range t.rules {
@@ -187,6 +255,17 @@ func (t *FlowTable) Tick() []Rule {
 // If includeCounters is true, per-rule counters are appended; the
 // NO-SWITCH-REDUCTION ablation uses InsertionOrderKey instead.
 func (t *FlowTable) CanonicalKey(includeCounters bool) string {
+	if t.key.valid && t.key.canonical && t.key.counters == includeCounters {
+		return t.key.str
+	}
+	str := t.RenderCanonicalKey(includeCounters)
+	t.key = tableKeyCache{str: str, valid: true, canonical: true, counters: includeCounters}
+	return str
+}
+
+// RenderCanonicalKey rebuilds the canonical key from scratch, ignoring
+// the cache (the differential-oracle path).
+func (t *FlowTable) RenderCanonicalKey(includeCounters bool) string {
 	keys := make([]string, len(t.rules))
 	for i, r := range t.rules {
 		keys[i] = t.ruleStateKey(r, includeCounters)
@@ -199,6 +278,17 @@ func (t *FlowTable) CanonicalKey(includeCounters bool) string {
 // place of CanonicalKey reproduces the paper's NO-SWITCH-REDUCTION
 // baseline, where semantically equivalent tables hash differently.
 func (t *FlowTable) InsertionOrderKey(includeCounters bool) string {
+	if t.key.valid && !t.key.canonical && t.key.counters == includeCounters {
+		return t.key.str
+	}
+	str := t.RenderInsertionOrderKey(includeCounters)
+	t.key = tableKeyCache{str: str, valid: true, canonical: false, counters: includeCounters}
+	return str
+}
+
+// RenderInsertionOrderKey rebuilds the insertion-order key from
+// scratch, ignoring the cache (the differential-oracle path).
+func (t *FlowTable) RenderInsertionOrderKey(includeCounters bool) string {
 	keys := make([]string, len(t.rules))
 	for i, r := range t.rules {
 		keys[i] = t.ruleStateKey(r, includeCounters)

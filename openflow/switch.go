@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"github.com/nice-go/nice/internal/canon"
+	"github.com/nice-go/nice/internal/cow"
 )
 
 // IDAlloc hands out fresh PacketIDs. It is part of the modelled system
@@ -70,19 +71,6 @@ type ProcResult struct {
 	DeletedRules   int
 }
 
-func (r *ProcResult) merge(o ProcResult) {
-	r.Outputs = append(r.Outputs, o.Outputs...)
-	r.ToController = append(r.ToController, o.ToController...)
-	r.Dropped = append(r.Dropped, o.Dropped...)
-	r.Buffered = append(r.Buffered, o.Buffered...)
-	r.Released = append(r.Released, o.Released...)
-	r.Copies = append(r.Copies, o.Copies...)
-	r.Injected = append(r.Injected, o.Injected...)
-	r.Matched = append(r.Matched, o.Matched...)
-	r.InstalledRules = append(r.InstalledRules, o.InstalledRules...)
-	r.DeletedRules += o.DeletedRules
-}
-
 // Switch is the simplified OpenFlow switch model of §2.2.2: a flow table,
 // per-port ingress FIFO channels, a packet buffer for
 // awaiting-controller-response packets, and two transitions —
@@ -90,7 +78,9 @@ func (r *ProcResult) merge(o ProcResult) {
 type Switch struct {
 	ID    SwitchID
 	Ports []PortID // sorted; the switch floods over these
-	Table *FlowTable
+	// Table is embedded by value so forking a switch copies the table
+	// struct for free (its rule storage still forks copy-on-write).
+	Table FlowTable
 
 	// in holds the per-port ingress FIFO packet channels.
 	in map[PortID][]Packet
@@ -109,10 +99,23 @@ type Switch struct {
 	Alive bool
 
 	// key is the incremental-fingerprinting cache: the canonical state
-	// key and its 64-bit hash, valid until the next mutation. Clone
-	// copies it (a clone starts in an identical state), so unchanged
+	// key and its 64-bit hash, valid until the next mutation. Clone and
+	// Fork copy it (a fork starts in an identical state), so unchanged
 	// switches are never re-rendered as the search forks.
 	key switchKeyCache
+
+	// Tag is the copy-on-write ownership marker (internal/cow): the
+	// System owning this switch compares it against its current epoch
+	// and forks before mutating when they differ.
+	cow.Tag
+
+	// borrowIn / borrowUp mark the channel and link-state maps as
+	// shared with the switch this one was forked from; the first
+	// mutation copies the map (with capacity-clamped queue slices, so
+	// later appends never write a shared backing array) and clears the
+	// flag. The flags live only on the exclusive fork — the frozen
+	// source is never written — keeping forks race-free.
+	borrowIn, borrowUp bool
 }
 
 // switchKeyCache caches one rendered StateKey with its parameters.
@@ -133,7 +136,6 @@ func NewSwitch(id SwitchID, ports []PortID) *Switch {
 	return &Switch{
 		ID:    id,
 		Ports: ps,
-		Table: NewFlowTable(),
 		in:    make(map[PortID][]Packet),
 		up:    make(map[PortID]bool),
 		Alive: true,
@@ -147,6 +149,7 @@ func (s *Switch) MarkDirty() { s.key.valid = false }
 
 // SetPortUp sets a port's link state.
 func (s *Switch) SetPortUp(p PortID, isUp bool) {
+	s.ownUp()
 	s.MarkDirty()
 	if isUp {
 		s.up[p] = true
@@ -158,12 +161,13 @@ func (s *Switch) SetPortUp(p PortID, isUp bool) {
 // PortUp reports a port's link state.
 func (s *Switch) PortUp(p PortID) bool { return s.up[p] }
 
-// Clone deep-copies the switch.
+// Clone deep-copies the switch — the retained deep-copy forking path;
+// Fork is the copy-on-write fast path.
 func (s *Switch) Clone() *Switch {
 	c := &Switch{
 		ID:      s.ID,
 		Ports:   append([]PortID(nil), s.Ports...),
-		Table:   s.Table.Clone(),
+		Table:   *s.Table.Clone(),
 		in:      make(map[PortID][]Packet, len(s.in)),
 		up:      make(map[PortID]bool, len(s.up)),
 		buffer:  make([]BufEntry, len(s.buffer)),
@@ -181,6 +185,51 @@ func (s *Switch) Clone() *Switch {
 	return c
 }
 
+// Fork returns a copy-on-write fork owned at epoch owner: an O(1)
+// struct copy that borrows the flow table, channel maps and buffer.
+// The receiver must be frozen afterwards (the System-level protocol
+// guarantees this by retiring its epoch); the fork copies each borrowed
+// piece before its own first mutation of it.
+func (s *Switch) Fork(owner uint64) *Switch {
+	c := *s
+	c.SetOwner(owner)
+	c.Table.forkInto(&s.Table)
+	// The buffer slice is capacity-clamped so appends reallocate
+	// instead of writing the shared backing array; element removal
+	// (takeBuffer) already builds a fresh array via clamped appends.
+	c.buffer = s.buffer[:len(s.buffer):len(s.buffer)]
+	c.borrowIn, c.borrowUp = true, true
+	return &c
+}
+
+// ownIn copies the borrowed ingress-channel map before its first
+// mutation. Queue slices are capacity-clamped, not copied: mutators
+// either replace a queue wholesale or append (which then reallocates).
+func (s *Switch) ownIn() {
+	if !s.borrowIn {
+		return
+	}
+	in := make(map[PortID][]Packet, len(s.in))
+	for p, q := range s.in {
+		in[p] = q[:len(q):len(q)]
+	}
+	s.in = in
+	s.borrowIn = false
+}
+
+// ownUp copies the borrowed link-state map before its first mutation.
+func (s *Switch) ownUp() {
+	if !s.borrowUp {
+		return
+	}
+	up := make(map[PortID]bool, len(s.up))
+	for p, u := range s.up {
+		up[p] = u
+	}
+	s.up = up
+	s.borrowUp = false
+}
+
 // HasPort reports whether p is one of the switch's ports.
 func (s *Switch) HasPort(p PortID) bool {
 	for _, q := range s.Ports {
@@ -196,6 +245,7 @@ func (s *Switch) Enqueue(p PortID, pkt Packet) {
 	if !s.HasPort(p) {
 		panic(fmt.Sprintf("openflow: switch %v has no port %v", s.ID, p))
 	}
+	s.ownIn()
 	s.MarkDirty()
 	s.in[p] = append(s.in[p], pkt)
 }
@@ -235,6 +285,7 @@ func (s *Switch) DropHead(p PortID) (Packet, bool) {
 	if len(q) == 0 {
 		return Packet{}, false
 	}
+	s.ownIn()
 	s.MarkDirty()
 	pkt := q[0]
 	if len(q) == 1 {
@@ -253,6 +304,7 @@ func (s *Switch) DupHead(p PortID, alloc *IDAlloc) (Packet, bool) {
 	if len(q) == 0 {
 		return Packet{}, false
 	}
+	s.ownIn()
 	s.MarkDirty()
 	dup := q[0]
 	dup.ID = alloc.Next()
@@ -267,6 +319,7 @@ func (s *Switch) SwapHead(p PortID) bool {
 	if len(q) < 2 {
 		return false
 	}
+	s.ownIn()
 	s.MarkDirty()
 	nq := append([]Packet(nil), q...)
 	nq[0], nq[1] = nq[1], nq[0]
@@ -279,17 +332,18 @@ func (s *Switch) SwapHead(p PortID) bool {
 // against the flow table — a single transition, because the checker
 // already explores arrival orderings (§2.2.2 "Two simple transitions").
 func (s *Switch) ProcessPackets(alloc *IDAlloc) ProcResult {
+	s.ownIn()
 	s.MarkDirty()
 	var res ProcResult
-	for _, p := range s.PendingPorts() {
-		pkt := s.in[p][0]
-		rest := s.in[p][1:]
-		if len(rest) == 0 {
-			delete(s.in, p)
-		} else {
-			s.in[p] = append([]Packet(nil), rest...)
+	for _, p := range s.Ports {
+		q := s.in[p]
+		if len(q) == 0 {
+			continue
 		}
-		res.merge(s.processOne(pkt, p, alloc))
+		// Sharing the tail is safe: queue backings are never written
+		// in place (appends on forks reallocate past the clamp).
+		s.in[p] = q[1:]
+		s.processOne(&res, q[0], p, alloc)
 	}
 	return res
 }
@@ -301,36 +355,33 @@ func (s *Switch) ProcessPacketOnPort(p PortID, alloc *IDAlloc) (ProcResult, bool
 	if len(s.in[p]) == 0 {
 		return ProcResult{}, false
 	}
+	s.ownIn()
 	s.MarkDirty()
 	pkt := s.in[p][0]
-	rest := s.in[p][1:]
-	if len(rest) == 0 {
-		delete(s.in, p)
-	} else {
-		s.in[p] = append([]Packet(nil), rest...)
-	}
-	return s.processOne(pkt, p, alloc), true
+	s.in[p] = s.in[p][1:]
+	var res ProcResult
+	s.processOne(&res, pkt, p, alloc)
+	return res, true
 }
 
-func (s *Switch) processOne(pkt Packet, inPort PortID, alloc *IDAlloc) ProcResult {
-	var res ProcResult
+// processOne appends one packet's processing effects to res (the
+// out-parameter form keeps the hot path free of ProcResult merges).
+func (s *Switch) processOne(res *ProcResult, pkt Packet, inPort PortID, alloc *IDAlloc) {
 	idx, ok := s.Table.Lookup(pkt.Header, inPort)
 	if !ok {
 		// Table miss: buffer the packet, send the header to the
 		// controller and await a response (§1.1).
-		res.merge(s.bufferAndNotify(pkt, inPort, ReasonNoMatch))
+		s.bufferAndNotify(res, pkt, inPort, ReasonNoMatch)
 		res.Matched = append(res.Matched, "")
-		return res
+		return
 	}
 	s.Table.Hit(idx)
 	rule := s.Table.Rules()[idx]
 	res.Matched = append(res.Matched, rule.Key())
-	res.merge(s.applyActions(pkt, inPort, rule.Actions, alloc))
-	return res
+	s.applyActions(res, pkt, inPort, rule.Actions, alloc)
 }
 
-func (s *Switch) bufferAndNotify(pkt Packet, inPort PortID, reason PacketInReason) ProcResult {
-	var res ProcResult
+func (s *Switch) bufferAndNotify(res *ProcResult, pkt Packet, inPort PortID, reason PacketInReason) {
 	id := s.nextBuf
 	s.nextBuf++
 	s.buffer = append(s.buffer, BufEntry{ID: id, Pkt: pkt, InPort: inPort})
@@ -343,16 +394,15 @@ func (s *Switch) bufferAndNotify(pkt Packet, inPort PortID, reason PacketInReaso
 		InPort: inPort,
 		Reason: reason,
 	})
-	return res
 }
 
-// applyActions executes an action list on a packet. Rewrites apply to
-// subsequent outputs; flood emits one fresh copy per non-ingress port.
-func (s *Switch) applyActions(pkt Packet, inPort PortID, actions []Action, alloc *IDAlloc) ProcResult {
-	var res ProcResult
+// applyActions executes an action list on a packet, appending the
+// effects to res. Rewrites apply to subsequent outputs; flood emits one
+// fresh copy per non-ingress port.
+func (s *Switch) applyActions(res *ProcResult, pkt Packet, inPort PortID, actions []Action, alloc *IDAlloc) {
 	if len(actions) == 0 {
 		res.Dropped = append(res.Dropped, pkt)
-		return res
+		return
 	}
 	cur := pkt
 	emitted := false
@@ -384,9 +434,9 @@ func (s *Switch) applyActions(pkt Packet, inPort PortID, actions []Action, alloc
 			if !emitted {
 				res.Dropped = append(res.Dropped, cur)
 			}
-			return res
+			return
 		case ActionController:
-			res.merge(s.bufferAndNotify(cur, inPort, ReasonAction))
+			s.bufferAndNotify(res, cur, inPort, ReasonAction)
 			emitted = true
 		case ActionSetField:
 			SetFieldValue(&cur.Header, a.Field, a.Value)
@@ -398,7 +448,6 @@ func (s *Switch) applyActions(pkt Packet, inPort PortID, actions []Action, alloc
 		// An action list of only rewrites forwards nowhere: drop.
 		res.Dropped = append(res.Dropped, cur)
 	}
-	return res
 }
 
 // ApplyOF implements the process_of transition for one controller→switch
@@ -437,7 +486,7 @@ func (s *Switch) ApplyOF(m Msg, alloc *IDAlloc) ProcResult {
 			pkt.Orig = pkt.ID
 			res.Injected = append(res.Injected, pkt)
 		}
-		res.merge(s.applyActions(pkt, inPort, m.Actions, alloc))
+		s.applyActions(&res, pkt, inPort, m.Actions, alloc)
 	case MsgBarrierRequest:
 		res.ToController = append(res.ToController, Msg{
 			Type: MsgBarrierReply, Switch: s.ID, Xid: m.Xid,
@@ -510,7 +559,7 @@ func (s *Switch) StateKey(canonical, includeCounters bool) string {
 	if s.key.valid && s.key.canonical == canonical && s.key.counters == includeCounters {
 		return s.key.str
 	}
-	str := s.RenderStateKey(canonical, includeCounters)
+	str := s.renderStateKey(canonical, includeCounters, false)
 	s.key = switchKeyCache{
 		str: str, hash: canon.Hash64String(str),
 		valid: true, canonical: canonical, counters: includeCounters,
@@ -525,11 +574,33 @@ func (s *Switch) KeyHash64(canonical, includeCounters bool) uint64 {
 	return s.key.hash
 }
 
-// RenderStateKey rebuilds the canonical state key from scratch, ignoring
-// the cache — the reflective-oracle path differential tests compare the
-// incremental fingerprint against.
+// RenderStateKey rebuilds the canonical state key from scratch,
+// ignoring the switch-level and table-level caches — the
+// reflective-oracle path differential tests compare the incremental
+// fingerprint against.
 func (s *Switch) RenderStateKey(canonical, includeCounters bool) string {
-	b := make([]byte, 0, 256)
+	return s.renderStateKey(canonical, includeCounters, true)
+}
+
+// renderStateKey builds the canonical state key; fresh selects the
+// oracle path, which also bypasses the flow table's key cache (the
+// cached-fill path reuses it, so queue-only mutations skip re-rendering
+// every rule).
+func (s *Switch) renderStateKey(canonical, includeCounters, fresh bool) string {
+	// Size the buffer from the queue/buffer populations: switch keys
+	// re-render on every mutation, so repeated growslice copies here
+	// were a top allocation site.
+	size := 96
+	for _, q := range s.in {
+		size += 8 + 48*len(q)
+	}
+	size += 52 * len(s.buffer)
+	if !fresh && canonical {
+		size += len(s.Table.CanonicalKey(includeCounters))
+	} else {
+		size += 72 * s.Table.Len()
+	}
+	b := make([]byte, 0, size)
 	b = append(b, "sw"...)
 	b = appendInt(b, int(s.ID))
 	b = append(b, " alive="...)
@@ -542,9 +613,14 @@ func (s *Switch) RenderStateKey(canonical, includeCounters bool) string {
 		}
 	}
 	b = append(b, "] table["...)
-	if canonical {
+	switch {
+	case canonical && fresh:
+		b = append(b, s.Table.RenderCanonicalKey(includeCounters)...)
+	case canonical:
 		b = append(b, s.Table.CanonicalKey(includeCounters)...)
-	} else {
+	case fresh:
+		b = append(b, s.Table.RenderInsertionOrderKey(includeCounters)...)
+	default:
 		b = append(b, s.Table.InsertionOrderKey(includeCounters)...)
 	}
 	b = append(b, "] in["...)

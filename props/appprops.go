@@ -26,6 +26,7 @@ type FlowAffinity struct {
 	Replicas []openflow.HostID
 
 	assigned map[connKey]openflow.HostID
+	borrowed bool
 	cache    cachedKey
 }
 
@@ -77,17 +78,45 @@ func (p *FlowAffinity) OnEvents(_ *core.System, events []core.Event) error {
 			return fmt.Errorf("connection %v:%d split across replicas %v and %v (packet %s)",
 				k.ClientIP, k.ClientPort, prev, e.Host, h)
 		}
+		p.ensureOwned()
 		p.cache.invalidate()
 		p.assigned[k] = e.Host
 	}
 	return nil
 }
 
+// ForkProp implements core.ForkableProperty: an O(1) copy borrowing the
+// assignment map until the fork's first write.
+func (p *FlowAffinity) ForkProp() core.Property {
+	c := *p
+	c.borrowed = true
+	return &c
+}
+
+func (p *FlowAffinity) ensureOwned() {
+	if !p.borrowed {
+		return
+	}
+	m := make(map[connKey]openflow.HostID, len(p.assigned)+1)
+	for k, v := range p.assigned {
+		m[k] = v
+	}
+	p.assigned = m
+	p.borrowed = false
+}
+
 // AtQuiescence implements core.Property.
 func (p *FlowAffinity) AtQuiescence(*core.System) error { return nil }
 
+// EventMask implements core.EventMasker: only deliveries to replicas
+// matter.
+func (p *FlowAffinity) EventMask() uint64 { return core.MaskOf(core.EvDelivered) }
+
 // StateKey implements core.Property (memoized; see keys.go).
 func (p *FlowAffinity) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// StateKeyHash64 implements core.KeyHasher with the memoized hash.
+func (p *FlowAffinity) StateKeyHash64() uint64 { return p.cache.hash64(p.renderStateKey) }
 
 // RenderStateKey implements core.FreshKeyer: a from-scratch render
 // bypassing the memo, for the differential oracle.
@@ -164,6 +193,7 @@ type UseCorrectRoutingTable struct {
 	high     bool
 	flowIdx  int
 	expected map[openflow.Flow]openflow.PortID
+	borrowed bool
 	cache    cachedKey
 }
 
@@ -211,6 +241,7 @@ func (p *UseCorrectRoutingTable) OnEvents(_ *core.System, events []core.Event) e
 			if _, known := p.expected[f]; known {
 				continue
 			}
+			p.ensureOwned()
 			p.cache.invalidate()
 			p.expected[f] = p.Spec.ExpectedPort(p.high, p.flowIdx)
 			p.flowIdx++
@@ -282,8 +313,37 @@ func ruleFlow(r openflow.Rule) (openflow.Flow, bool) {
 // AtQuiescence implements core.Property.
 func (p *UseCorrectRoutingTable) AtQuiescence(*core.System) error { return nil }
 
+// EventMask implements core.EventMasker.
+func (p *UseCorrectRoutingTable) EventMask() uint64 {
+	return core.MaskOf(core.EvStats, core.EvCtrlDispatch, core.EvRuleInstalled)
+}
+
+// ForkProp implements core.ForkableProperty: an O(1) copy borrowing the
+// expectation map until the fork's first write (the scalar load/index
+// state is carried by the struct copy itself).
+func (p *UseCorrectRoutingTable) ForkProp() core.Property {
+	c := *p
+	c.borrowed = true
+	return &c
+}
+
+func (p *UseCorrectRoutingTable) ensureOwned() {
+	if !p.borrowed {
+		return
+	}
+	m := make(map[openflow.Flow]openflow.PortID, len(p.expected)+1)
+	for k, v := range p.expected {
+		m[k] = v
+	}
+	p.expected = m
+	p.borrowed = false
+}
+
 // StateKey implements core.Property (memoized; see keys.go).
 func (p *UseCorrectRoutingTable) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// StateKeyHash64 implements core.KeyHasher with the memoized hash.
+func (p *UseCorrectRoutingTable) StateKeyHash64() uint64 { return p.cache.hash64(p.renderStateKey) }
 
 // RenderStateKey implements core.FreshKeyer: a from-scratch render
 // bypassing the memo, for the differential oracle.

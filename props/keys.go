@@ -1,6 +1,8 @@
 package props
 
 import (
+	"github.com/nice-go/nice/internal/canon"
+
 	"sort"
 	"strconv"
 
@@ -16,11 +18,14 @@ import (
 // the same code path on both the incremental and the oracle hash, so the
 // formats are not pinned to the historical reflective output.
 
-// cachedKey memoizes one rendered StateKey between mutations. Properties
-// embed it by value; Clone copies it, so a cloned property (identical
-// state) keeps the rendering.
+// cachedKey memoizes one rendered StateKey (and its 64-bit hash, which
+// System.Fingerprint combines without re-hashing the string every
+// state) between mutations. Properties embed it by value; Clone and
+// ForkProp copy it, so a forked property (identical state) keeps the
+// rendering.
 type cachedKey struct {
 	key   string
+	hash  uint64
 	valid bool
 }
 
@@ -29,9 +34,15 @@ func (c *cachedKey) invalidate() { c.valid = false }
 func (c *cachedKey) get(render func() string) string {
 	if !c.valid {
 		c.key = render()
+		c.hash = canon.Hash64String(c.key)
 		c.valid = true
 	}
 	return c.key
+}
+
+func (c *cachedKey) hash64(render func() string) uint64 {
+	c.get(render)
+	return c.hash
 }
 
 func appendPacketIDSet(b []byte, m map[openflow.PacketID]bool) []byte {

@@ -30,8 +30,9 @@ type visitKey struct {
 // flooding share their origin's identity: two same-origin arrivals at
 // one port only happen when the topology cycles traffic back.
 type NoForwardingLoops struct {
-	visited map[visitKey]bool
-	cache   cachedKey
+	visited  map[visitKey]bool
+	borrowed bool
+	cache    cachedKey
 }
 
 // NewNoForwardingLoops returns the property.
@@ -52,6 +53,26 @@ func (p *NoForwardingLoops) Clone() core.Property {
 	return c
 }
 
+// ForkProp implements core.ForkableProperty: an O(1) copy borrowing the
+// visited set until the fork's first write.
+func (p *NoForwardingLoops) ForkProp() core.Property {
+	c := *p
+	c.borrowed = true
+	return &c
+}
+
+func (p *NoForwardingLoops) ensureOwned() {
+	if !p.borrowed {
+		return
+	}
+	m := make(map[visitKey]bool, len(p.visited)+1)
+	for k := range p.visited {
+		m[k] = true
+	}
+	p.visited = m
+	p.borrowed = false
+}
+
 // OnEvents implements core.Property.
 func (p *NoForwardingLoops) OnEvents(_ *core.System, events []core.Event) error {
 	for _, e := range events {
@@ -63,6 +84,7 @@ func (p *NoForwardingLoops) OnEvents(_ *core.System, events []core.Event) error 
 			return fmt.Errorf("packet (%s) traversed %v:%v twice — forwarding loop",
 				e.Pkt.Header, e.Sw, e.Port)
 		}
+		p.ensureOwned()
 		p.cache.invalidate()
 		p.visited[k] = true
 	}
@@ -72,8 +94,14 @@ func (p *NoForwardingLoops) OnEvents(_ *core.System, events []core.Event) error 
 // AtQuiescence implements core.Property.
 func (p *NoForwardingLoops) AtQuiescence(*core.System) error { return nil }
 
+// EventMask implements core.EventMasker: only packet arrivals matter.
+func (p *NoForwardingLoops) EventMask() uint64 { return core.MaskOf(core.EvArrive) }
+
 // StateKey implements core.Property (memoized; see keys.go).
 func (p *NoForwardingLoops) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// StateKeyHash64 implements core.KeyHasher with the memoized hash.
+func (p *NoForwardingLoops) StateKeyHash64() uint64 { return p.cache.hash64(p.renderStateKey) }
 
 // RenderStateKey implements core.FreshKeyer: a from-scratch render
 // bypassing the memo, for the differential oracle.
@@ -121,6 +149,7 @@ type NoBlackHoles struct {
 	alive map[openflow.PacketID]string
 	// buffered marks instances currently parked at a switch.
 	buffered map[openflow.PacketID]bool
+	borrowed bool
 	cache    cachedKey
 }
 
@@ -148,23 +177,51 @@ func (p *NoBlackHoles) Clone() core.Property {
 	return c
 }
 
+// ForkProp implements core.ForkableProperty: an O(1) copy borrowing
+// both accounting maps until the fork's first write.
+func (p *NoBlackHoles) ForkProp() core.Property {
+	c := *p
+	c.borrowed = true
+	return &c
+}
+
+func (p *NoBlackHoles) ensureOwned() {
+	if !p.borrowed {
+		return
+	}
+	alive := make(map[openflow.PacketID]string, len(p.alive)+1)
+	for k, v := range p.alive {
+		alive[k] = v
+	}
+	buffered := make(map[openflow.PacketID]bool, len(p.buffered)+1)
+	for k, v := range p.buffered {
+		buffered[k] = v
+	}
+	p.alive, p.buffered = alive, buffered
+	p.borrowed = false
+}
+
 // OnEvents implements core.Property.
 func (p *NoBlackHoles) OnEvents(_ *core.System, events []core.Event) error {
 	for _, e := range events {
 		switch e.Kind {
 		case core.EvHostSend, core.EvCopied, core.EvCtrlInject, core.EvFaultDuplicated:
+			p.ensureOwned()
 			p.cache.invalidate()
 			p.alive[e.Pkt.ID] = e.Pkt.Header.String()
 		case core.EvDelivered, core.EvDropped, core.EvFaultDropped:
 			// Fault-model losses are the environment's doing, not the
 			// controller's; they leave the balance.
+			p.ensureOwned()
 			p.cache.invalidate()
 			delete(p.alive, e.Pkt.ID)
 			delete(p.buffered, e.Pkt.ID)
 		case core.EvBuffered:
+			p.ensureOwned()
 			p.cache.invalidate()
 			p.buffered[e.Pkt.ID] = true
 		case core.EvReleased:
+			p.ensureOwned()
 			p.cache.invalidate()
 			delete(p.buffered, e.Pkt.ID)
 		case core.EvVanished:
@@ -191,8 +248,19 @@ func (p *NoBlackHoles) AtQuiescence(*core.System) error {
 	return nil
 }
 
+// EventMask implements core.EventMasker: every kind the copy-balance
+// bookkeeping reads, including EvVanished (violation-only).
+func (p *NoBlackHoles) EventMask() uint64 {
+	return core.MaskOf(core.EvHostSend, core.EvCopied, core.EvCtrlInject,
+		core.EvFaultDuplicated, core.EvDelivered, core.EvDropped,
+		core.EvFaultDropped, core.EvBuffered, core.EvReleased, core.EvVanished)
+}
+
 // StateKey implements core.Property (memoized; see keys.go).
 func (p *NoBlackHoles) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// StateKeyHash64 implements core.KeyHasher with the memoized hash.
+func (p *NoBlackHoles) StateKeyHash64() uint64 { return p.cache.hash64(p.renderStateKey) }
 
 // RenderStateKey implements core.FreshKeyer: a from-scratch render
 // bypassing the memo, for the differential oracle.
@@ -237,6 +305,10 @@ func (p *NoForgottenPackets) Clone() core.Property { return &NoForgottenPackets{
 // OnEvents implements core.Property.
 func (p *NoForgottenPackets) OnEvents(*core.System, []core.Event) error { return nil }
 
+// EventMask implements core.EventMasker: the property is stateless and
+// judges only quiescent states, so it observes no events at all.
+func (p *NoForgottenPackets) EventMask() uint64 { return 0 }
+
 // AtQuiescence implements core.Property.
 func (p *NoForgottenPackets) AtQuiescence(sys *core.System) error {
 	for _, id := range sys.SwitchIDs() {
@@ -266,6 +338,7 @@ type DirectPaths struct {
 	// established; only those may not reach the controller (delay
 	// robustness: packets already in flight are exempt).
 	lateSend map[openflow.PacketID]bool
+	borrowed bool
 	cache    cachedKey
 }
 
@@ -293,6 +366,34 @@ func (p *DirectPaths) Clone() core.Property {
 	return c
 }
 
+// ForkProp implements core.ForkableProperty: an O(1) copy borrowing
+// both flow maps until the fork's first write.
+func (p *DirectPaths) ForkProp() core.Property {
+	c := *p
+	c.borrowed = true
+	return &c
+}
+
+func (p *DirectPaths) ensureOwned() {
+	if !p.borrowed {
+		return
+	}
+	p.delivered, p.lateSend = copyFlowMaps(p.delivered, p.lateSend)
+	p.borrowed = false
+}
+
+func copyFlowMaps(delivered map[openflow.Flow]bool, lateSend map[openflow.PacketID]bool) (map[openflow.Flow]bool, map[openflow.PacketID]bool) {
+	d := make(map[openflow.Flow]bool, len(delivered)+1)
+	for k, v := range delivered {
+		d[k] = v
+	}
+	l := make(map[openflow.PacketID]bool, len(lateSend)+1)
+	for k, v := range lateSend {
+		l[k] = v
+	}
+	return d, l
+}
+
 // OnEvents implements core.Property.
 func (p *DirectPaths) OnEvents(_ *core.System, events []core.Event) error {
 	for _, e := range events {
@@ -301,10 +402,12 @@ func (p *DirectPaths) OnEvents(_ *core.System, events []core.Event) error {
 			if degenerateFlow(e.Pkt.Header) {
 				continue
 			}
+			p.ensureOwned()
 			p.cache.invalidate()
 			p.delivered[e.Pkt.Header.Flow()] = true
 		case core.EvHostSend:
 			if !degenerateFlow(e.Pkt.Header) && p.delivered[e.Pkt.Header.Flow()] {
+				p.ensureOwned()
 				p.cache.invalidate()
 				p.lateSend[e.Pkt.Orig] = true
 			}
@@ -329,8 +432,16 @@ func degenerateFlow(h openflow.Header) bool {
 // AtQuiescence implements core.Property.
 func (p *DirectPaths) AtQuiescence(*core.System) error { return nil }
 
+// EventMask implements core.EventMasker.
+func (p *DirectPaths) EventMask() uint64 {
+	return core.MaskOf(core.EvDelivered, core.EvHostSend, core.EvPacketIn)
+}
+
 // StateKey implements core.Property (memoized; see keys.go).
 func (p *DirectPaths) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// StateKeyHash64 implements core.KeyHasher with the memoized hash.
+func (p *DirectPaths) StateKeyHash64() uint64 { return p.cache.hash64(p.renderStateKey) }
 
 // RenderStateKey implements core.FreshKeyer: a from-scratch render
 // bypassing the memo, for the differential oracle.
@@ -349,6 +460,7 @@ func (p *DirectPaths) renderStateKey() string {
 type StrictDirectPaths struct {
 	delivered map[openflow.Flow]bool // unidirectional deliveries seen
 	lateSend  map[openflow.PacketID]bool
+	borrowed  bool
 	cache     cachedKey
 }
 
@@ -395,6 +507,22 @@ func (p *StrictDirectPaths) deliveredDir(src, dst openflow.EthAddr) bool {
 	return false
 }
 
+// ForkProp implements core.ForkableProperty: an O(1) copy borrowing
+// both flow maps until the fork's first write.
+func (p *StrictDirectPaths) ForkProp() core.Property {
+	c := *p
+	c.borrowed = true
+	return &c
+}
+
+func (p *StrictDirectPaths) ensureOwned() {
+	if !p.borrowed {
+		return
+	}
+	p.delivered, p.lateSend = copyFlowMaps(p.delivered, p.lateSend)
+	p.borrowed = false
+}
+
 // OnEvents implements core.Property.
 func (p *StrictDirectPaths) OnEvents(_ *core.System, events []core.Event) error {
 	for _, e := range events {
@@ -403,10 +531,12 @@ func (p *StrictDirectPaths) OnEvents(_ *core.System, events []core.Event) error 
 			if degenerateFlow(e.Pkt.Header) {
 				continue
 			}
+			p.ensureOwned()
 			p.cache.invalidate()
 			p.delivered[e.Pkt.Header.Flow()] = true
 		case core.EvHostSend:
 			if !degenerateFlow(e.Pkt.Header) && p.established(e.Pkt.Header.Flow()) {
+				p.ensureOwned()
 				p.cache.invalidate()
 				p.lateSend[e.Pkt.Orig] = true
 			}
@@ -423,8 +553,16 @@ func (p *StrictDirectPaths) OnEvents(_ *core.System, events []core.Event) error 
 // AtQuiescence implements core.Property.
 func (p *StrictDirectPaths) AtQuiescence(*core.System) error { return nil }
 
+// EventMask implements core.EventMasker.
+func (p *StrictDirectPaths) EventMask() uint64 {
+	return core.MaskOf(core.EvDelivered, core.EvHostSend, core.EvPacketIn)
+}
+
 // StateKey implements core.Property (memoized; see keys.go).
 func (p *StrictDirectPaths) StateKey() string { return p.cache.get(p.renderStateKey) }
+
+// StateKeyHash64 implements core.KeyHasher with the memoized hash.
+func (p *StrictDirectPaths) StateKeyHash64() uint64 { return p.cache.hash64(p.renderStateKey) }
 
 // RenderStateKey implements core.FreshKeyer: a from-scratch render
 // bypassing the memo, for the differential oracle.

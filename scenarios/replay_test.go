@@ -105,7 +105,7 @@ func TestBugIFixedRecovers(t *testing.T) {
 		step(kind(core.TSwitchTick), "tick")
 	}
 	if sim.System().Switch(1).Table.Len() != 0 {
-		t.Fatalf("rules survived the hard timeout:\n%s", sim.System().Switch(1).Table)
+		t.Fatalf("rules survived the hard timeout:\n%s", sim.System().Switch(1).Table.String())
 	}
 
 	// Ping 3 floods (no rules left) and reaches B's new location.
