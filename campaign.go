@@ -5,12 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/nice-go/nice/internal/telemetry"
 	"github.com/nice-go/nice/scenarios"
 )
 
@@ -88,6 +88,24 @@ type Campaign struct {
 	// same scenario/scale/fixed triple, so the strategy columns of one
 	// workload reuse each other's symbolic-execution results.
 	ShareCaches bool
+
+	// CachePrune bounds each shared discover-cache set when ShareCaches
+	// is on and jobs run one at a time (Parallelism <= 1): after a job
+	// finishes, a set grown past CachePrune entries is emptied, counted
+	// and traced as cache evictions. Pruning between searches is safe —
+	// cache presence feeds state identity only within one search — but
+	// concurrent jobs may be mid-search, so the bound is ignored when
+	// Parallelism > 1.
+	CachePrune int
+
+	// Telemetry, when non-nil, receives campaign-level aggregation under
+	// the "campaign" scope: job and outcome counters, cumulative state
+	// and transition counts, live budget-drawdown gauges and per-job
+	// trace events. Engine-level metrics stay per job — each job runs
+	// against a private registry surfaced through CampaignResult; pass
+	// WithTelemetry in Run's extra options to redirect every job's
+	// engine metrics to one registry you own instead.
+	Telemetry *Telemetry
 }
 
 // CampaignJobs builds the scenario × strategy cross product with a
@@ -166,6 +184,15 @@ type CampaignResult struct {
 	// The measurement is process-wide: jobs running concurrently
 	// (Parallelism > 1) share the heap, so treat it as an envelope.
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// CacheHitRate is the discover-cache hit fraction over the job's
+	// lookups (0 when the job made none).
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	// COWForks / COWCopies count the job's copy-on-write state forks and
+	// lazy component copies. Zero when the job ran under a
+	// caller-supplied telemetry registry — the counts then accumulate
+	// there instead.
+	COWForks  int64 `json:"cow_forks,omitempty"`
+	COWCopies int64 `json:"cow_copies,omitempty"`
 }
 
 // ok reports whether the outcome matches expectations (partial results
@@ -212,8 +239,8 @@ func (r *CampaignReport) WriteText(w io.Writer) {
 			width = n
 		}
 	}
-	fmt.Fprintf(w, "%-*s  %-20s %12s %12s %10s %10s %9s  %s\n",
-		width, "scenario", "outcome", "transitions", "states", "states/s", "elapsed", "peak-heap", "detail")
+	fmt.Fprintf(w, "%-*s  %-20s %12s %12s %10s %10s %9s %5s  %s\n",
+		width, "scenario", "outcome", "transitions", "states", "states/s", "elapsed", "peak-heap", "hit%", "detail")
 	for i := range r.Results {
 		res := &r.Results[i]
 		detail := ""
@@ -228,10 +255,10 @@ func (r *CampaignReport) WriteText(w io.Writer) {
 		case res.Outcome == OutcomePartial:
 			detail = "stopped: " + res.StopReason
 		}
-		fmt.Fprintf(w, "%-*s  %-20s %12d %12d %10.0f %10s %9s  %s\n",
+		fmt.Fprintf(w, "%-*s  %-20s %12d %12d %10.0f %10s %9s %4.0f%%  %s\n",
 			width, res.Label, res.Outcome, res.Transitions, res.UniqueStates,
 			res.StatesPerSec, res.Elapsed.Round(time.Millisecond),
-			formatBytes(res.PeakHeapBytes), detail)
+			formatBytes(res.PeakHeapBytes), res.CacheHitRate*100, detail)
 	}
 	fmt.Fprintf(w, "\n%d jobs: %d violations, %d unexpected, %d partial — %d transitions, %d unique states in %s\n",
 		r.Jobs, r.Violations, r.Unexpected, r.Partial,
@@ -252,45 +279,100 @@ func formatBytes(n uint64) string {
 	}
 }
 
-// heapSampler records the peak in-use heap while a job runs, sampling
-// runtime.ReadMemStats on a coarse interval (cheap relative to a
-// search; the first and last samples bracket short jobs).
-type heapSampler struct {
-	done chan struct{}
-	out  chan uint64
+// finalProgressCapture retains the engine's Final progress snapshot —
+// the source of the job's StatesPerSec / PeakHeapBytes / CacheHitRate
+// columns. The engines guarantee exactly one Final snapshot, emitted
+// after the workers drain, so no lock ordering races with the report.
+type finalProgressCapture struct {
+	mu   sync.Mutex
+	last Progress
+	got  bool
 }
 
-func startHeapSampler() *heapSampler {
-	h := &heapSampler{done: make(chan struct{}), out: make(chan uint64, 1)}
-	go func() {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		peak := ms.HeapInuse
-		ticker := time.NewTicker(100 * time.Millisecond)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				runtime.ReadMemStats(&ms)
-				if ms.HeapInuse > peak {
-					peak = ms.HeapInuse
-				}
-			case <-h.done:
-				runtime.ReadMemStats(&ms)
-				if ms.HeapInuse > peak {
-					peak = ms.HeapInuse
-				}
-				h.out <- peak
-				return
-			}
-		}
-	}()
-	return h
+func (f *finalProgressCapture) OnViolation(Violation) {}
+
+func (f *finalProgressCapture) OnProgress(p Progress) {
+	if !p.Final {
+		return
+	}
+	f.mu.Lock()
+	f.last, f.got = p, true
+	f.mu.Unlock()
 }
 
-func (h *heapSampler) stop() uint64 {
-	close(h.done)
-	return <-h.out
+func (f *finalProgressCapture) final() (Progress, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last, f.got
+}
+
+// teeObserver fans one search's stream to two observers (the campaign's
+// capture plus a caller-supplied observer).
+type teeObserver struct {
+	a, b Observer
+}
+
+func (t teeObserver) OnViolation(v Violation) {
+	t.a.OnViolation(v)
+	t.b.OnViolation(v)
+}
+
+func (t teeObserver) OnProgress(p Progress) {
+	t.a.OnProgress(p)
+	t.b.OnProgress(p)
+}
+
+// campaignTelemetry is the campaign-scope handle bundle on the
+// campaign-wide registry; nil (no Campaign.Telemetry) keeps every call
+// a single branch, matching the engines' disabled fast path.
+type campaignTelemetry struct {
+	scope       *telemetry.Scope
+	jobs        *telemetry.Counter
+	violations  *telemetry.Counter
+	states      *telemetry.Counter
+	transitions *telemetry.Counter
+	statesLeft  *telemetry.Gauge
+	transLeft   *telemetry.Gauge
+}
+
+func newCampaignTelemetry(reg *Telemetry) *campaignTelemetry {
+	if reg == nil {
+		return nil
+	}
+	sc := reg.Scope("campaign")
+	return &campaignTelemetry{
+		scope:       sc,
+		jobs:        sc.Counter("jobs"),
+		violations:  sc.Counter("violations"),
+		states:      sc.Counter("unique_states"),
+		transitions: sc.Counter("transitions"),
+		statesLeft:  sc.Gauge("states_left"),
+		transLeft:   sc.Gauge("trans_left"),
+	}
+}
+
+func (t *campaignTelemetry) jobStart(label string) {
+	if t == nil {
+		return
+	}
+	t.scope.Emit(telemetry.TraceSearchStart, 0, label)
+}
+
+// jobDone aggregates one finished job and records the campaign-wide
+// budget drawdown.
+func (t *campaignTelemetry) jobDone(res *CampaignResult, statesLeft, transLeft int64) {
+	if t == nil {
+		return
+	}
+	t.jobs.Inc()
+	t.violations.Add(int64(len(res.Violated)))
+	t.states.Add(res.UniqueStates)
+	t.transitions.Add(res.Transitions)
+	t.statesLeft.Set(statesLeft)
+	t.transLeft.Set(transLeft)
+	t.scope.Counter("outcome_" + res.Outcome).Inc()
+	t.scope.Emit(telemetry.TraceSearchStop, res.UniqueStates,
+		res.Label+" "+res.Outcome)
 }
 
 // cacheKey groups jobs that may share a discover-cache set.
@@ -315,6 +397,7 @@ func (c *Campaign) Run(ctx context.Context, opts ...RunOption) *CampaignReport {
 	var statesLeft, transLeft atomic.Int64
 	statesLeft.Store(c.TotalMaxStates)
 	transLeft.Store(c.TotalMaxTransitions)
+	ct := newCampaignTelemetry(c.Telemetry)
 
 	var cachesMu sync.Mutex
 	caches := make(map[cacheKey]*Caches)
@@ -351,7 +434,10 @@ func (c *Campaign) Run(ctx context.Context, opts ...RunOption) *CampaignReport {
 				if i >= len(c.Jobs) {
 					return
 				}
-				report.Results[i] = c.runJob(ctx, c.Jobs[i], &statesLeft, &transLeft, jobCaches, opts)
+				ct.jobStart(c.Jobs[i].label())
+				res := c.runJob(ctx, c.Jobs[i], &statesLeft, &transLeft, jobCaches, opts)
+				ct.jobDone(&res, statesLeft.Load(), transLeft.Load())
+				report.Results[i] = res
 			}
 		}()
 	}
@@ -451,11 +537,31 @@ func (c *Campaign) runJob(ctx context.Context, job CampaignJob, statesLeft, tran
 	}
 	opts = append(opts, extra...)
 
-	sampler := startHeapSampler()
+	// Split any caller-supplied observer and registry out of the extra
+	// options, so the campaign's own capture and per-job registry tee
+	// with them instead of replacing them.
+	var scratch runSettings
+	for _, o := range extra {
+		o(&scratch)
+	}
+	reg := scratch.eo.Telemetry
+	ownReg := reg == nil
+	if ownReg {
+		reg = NewTelemetry()
+	}
+	capt := &finalProgressCapture{}
+	var obs Observer = capt
+	if scratch.eo.Observer != nil {
+		obs = teeObserver{a: scratch.eo.Observer, b: capt}
+	}
+	opts = append(opts, WithTelemetry(reg), WithObserver(obs))
+
 	r := Run(ctx, cfg, opts...)
-	res.PeakHeapBytes = sampler.stop()
 	statesLeft.Add(-r.UniqueStates)
 	transLeft.Add(-r.Transitions)
+	if cc != nil && c.CachePrune > 0 && c.Parallelism <= 1 {
+		cc.Prune(c.CachePrune)
+	}
 
 	res.Transitions = r.Transitions
 	res.UniqueStates = r.UniqueStates
@@ -464,8 +570,17 @@ func (c *Campaign) runJob(ctx context.Context, job CampaignJob, statesLeft, tran
 	res.Engine = r.Strategy
 	res.Complete = r.Complete
 	res.StopReason = string(r.StopReason)
-	if secs := r.Elapsed.Seconds(); secs > 0 {
+	if p, ok := capt.final(); ok {
+		res.StatesPerSec = p.StatesPerSec
+		res.PeakHeapBytes = p.PeakHeapInUse
+		res.CacheHitRate = p.CacheHitRate
+	} else if secs := r.Elapsed.Seconds(); secs > 0 {
 		res.StatesPerSec = float64(r.UniqueStates) / secs
+	}
+	if ownReg {
+		snap := reg.Snapshot()
+		res.COWForks = snap.Counter("cow.forks")
+		res.COWCopies = snap.Counter("cow.ensure_owned_copies")
 	}
 
 	seen := map[string]bool{}

@@ -11,6 +11,13 @@
 // allocs-per-state growth on any gated workload):
 //
 //	go run ./cmd/nice-bench -baseline BENCH_5.json -tolerance 0.2 -alloc-tolerance 0.2 -out bench-ci.json
+//
+// Attach and validate a search telemetry snapshot written by
+// `nice -metrics-out` (exit 1 unless the snapshot is well-formed and
+// carries the COW-fork, discover-cache and depth-histogram series;
+// -metrics-only skips the suite and just round-trips the snapshot):
+//
+//	go run ./cmd/nice-bench -metrics metrics.json -metrics-only -out merged.json
 package main
 
 import (
@@ -19,7 +26,36 @@ import (
 	"os"
 
 	"github.com/nice-go/nice/internal/bench"
+	"github.com/nice-go/nice/internal/telemetry"
 )
+
+// validateSearchSnapshot checks that a snapshot from an instrumented
+// search actually carries the series the telemetry layer promises:
+// copy-on-write fork/release counts, discover-cache lookups, and a
+// populated per-engine depth histogram.
+func validateSearchSnapshot(snap *telemetry.Snapshot) error {
+	if snap.Counter("cow.forks") <= 0 {
+		return fmt.Errorf("no cow.forks counter — the COW layer was not instrumented")
+	}
+	if snap.Counter("cow.releases") <= 0 {
+		return fmt.Errorf("no cow.releases counter")
+	}
+	lookups := snap.Counter("cache.packets_hits") + snap.Counter("cache.packets_misses") +
+		snap.Counter("cache.stats_hits") + snap.Counter("cache.stats_misses")
+	if lookups <= 0 {
+		return fmt.Errorf("no discover-cache lookup counters")
+	}
+	depths := snap.HistogramsWithSuffix(".depth")
+	if len(depths) == 0 {
+		return fmt.Errorf("no per-engine depth histogram")
+	}
+	for _, name := range depths {
+		if snap.Histograms[name].Count > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("depth histogram(s) %v recorded no observations", depths)
+}
 
 func main() {
 	var (
@@ -34,12 +70,45 @@ func main() {
 		skipTable2 = flag.Bool("skip-table2", false, "skip the 44-cell Table 2 sweep")
 		minSpeedup = flag.Float64("min-hash-speedup", 0,
 			"fail unless hash/incremental beats hash/oracle by this factor (machine-independent; 0 = off)")
+		metrics = flag.String("metrics", "",
+			"validate a telemetry snapshot from `nice -metrics-out` and embed it in the suite JSON")
+		metricsOnly = flag.Bool("metrics-only", false,
+			"skip the bench suite: just validate -metrics (and round-trip it into -out)")
 	)
 	flag.Parse()
+
+	var snap *telemetry.Snapshot
+	if *metrics != "" {
+		var err error
+		if snap, err = telemetry.LoadSnapshot(*metrics); err == nil {
+			err = validateSearchSnapshot(snap)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nice-bench: metrics %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot ok: %d counters, %d gauges, %d histograms, %d trace events\n",
+			len(snap.Counters), len(snap.Gauges), len(snap.Histograms), len(snap.Trace))
+	} else if *metricsOnly {
+		fmt.Fprintln(os.Stderr, "nice-bench: -metrics-only requires -metrics")
+		os.Exit(2)
+	}
+	if *metricsOnly {
+		if *out != "" {
+			suite := &bench.Suite{Schema: bench.Schema, PR: *pr, Telemetry: snap}
+			if err := suite.WriteFile(*out); err != nil {
+				fmt.Fprintln(os.Stderr, "nice-bench:", err)
+				os.Exit(2)
+			}
+			fmt.Println("wrote", *out)
+		}
+		return
+	}
 
 	suite := bench.Run(bench.Options{
 		PR: *pr, Iters: *iters, Workers: *workers, SkipTable2: *skipTable2,
 	})
+	suite.Telemetry = snap
 
 	for _, r := range suite.Results {
 		gate := " "

@@ -21,6 +21,12 @@
 // to stderr as the search runs, and violations print as they are
 // found.
 //
+// With -metrics-addr the process serves live introspection while the
+// search runs (/metrics and /trace as JSON, /debug/vars, /debug/pprof);
+// -metrics-out writes the final telemetry snapshot as JSON, in the
+// format nice-bench -metrics consumes. Both flags also work under
+// run-all, where the snapshot carries the campaign-scope aggregation.
+//
 // Ctrl-C cancels the search's context: the engines drain and the
 // partial (replayable) result prints instead of the process dying
 // mid-search.
@@ -49,6 +55,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -56,6 +63,26 @@ import (
 	"github.com/nice-go/nice"
 	"github.com/nice-go/nice/scenarios"
 )
+
+// serveMetrics mounts the live-introspection mux (/metrics, /trace,
+// /debug/vars, /debug/pprof) on addr in the background. Serve errors
+// (port taken, bad addr) are reported but never kill the search.
+func serveMetrics(addr string, reg *nice.Telemetry) {
+	go func() {
+		if err := http.ListenAndServe(addr, nice.TelemetryMux(reg)); err != nil {
+			fmt.Fprintln(os.Stderr, "nice: metrics server:", err)
+		}
+	}()
+}
+
+// writeMetrics dumps the registry snapshot to path for offline
+// consumption (nice-bench -metrics). A failed dump is a warning: the
+// search result already printed and stays authoritative.
+func writeMetrics(path string, reg *nice.Telemetry) {
+	if err := reg.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "nice: metrics dump:", err)
+	}
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "run-all" {
@@ -81,7 +108,10 @@ func runAll(args []string) {
 		totalStates = fs.Int64("total-states", 0, "shared unique-state budget across all jobs")
 		totalTrans  = fs.Int64("total-transitions", 0, "shared transition budget across all jobs")
 		shareCaches = fs.Bool("share-caches", true, "share discover caches between strategy columns of one workload")
+		cachePrune  = fs.Int("cache-prune", 0, "empty a shared cache set grown past this many entries between sequential jobs (0 = never)")
 		jsonPath    = fs.String("json", "", `write the merged report as JSON to this file ("-" = stdout)`)
+		metrAddr    = fs.String("metrics-addr", "", "serve live campaign metrics/trace/pprof on this address")
+		metrOut     = fs.String("metrics-out", "", "write the final campaign telemetry snapshot as JSON to this file")
 	)
 	fs.Parse(args)
 
@@ -105,12 +135,22 @@ func runAll(args []string) {
 		TotalMaxStates:      *totalStates,
 		TotalMaxTransitions: *totalTrans,
 		ShareCaches:         *shareCaches,
+		CachePrune:          *cachePrune,
+	}
+	if *metrAddr != "" || *metrOut != "" {
+		campaign.Telemetry = nice.NewTelemetry()
+	}
+	if *metrAddr != "" {
+		serveMetrics(*metrAddr, campaign.Telemetry)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	report := campaign.Run(ctx)
+	if *metrOut != "" {
+		writeMetrics(*metrOut, campaign.Telemetry)
+	}
 
 	if *jsonPath != "" {
 		if err := writeJSONReport(report, *jsonPath); err != nil {
@@ -213,6 +253,8 @@ func runOne() {
 		fixed     = flag.Bool("fixed", false, "check the repaired application instead")
 		all       = flag.Bool("all-violations", false, "keep searching past the first violation")
 		workers   = flag.Int("workers", 1, "parallel search workers (0 = all CPUs, 1 = sequential checker)")
+		metrAddr  = flag.String("metrics-addr", "", "serve live metrics/trace/pprof on this address while the search runs")
+		metrOut   = flag.String("metrics-out", "", "write the final telemetry snapshot as JSON to this file")
 		list      = flag.Bool("list", false, "list scenarios and exit")
 	)
 	flag.Parse()
@@ -277,12 +319,24 @@ func runOne() {
 			}))
 	}
 
+	var reg *nice.Telemetry
+	if *metrAddr != "" || *metrOut != "" {
+		reg = nice.NewTelemetry()
+		opts = append(opts, nice.WithTelemetry(reg))
+	}
+	if *metrAddr != "" {
+		serveMetrics(*metrAddr, reg)
+	}
+
 	// Ctrl-C cancels the context: the engines drain and return a
 	// partial but replayable report instead of dying mid-search.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	report := nice.Run(ctx, cfg, opts...)
+	if *metrOut != "" {
+		writeMetrics(*metrOut, reg)
+	}
 
 	fmt.Printf("%s (%s, %s): %d transitions, %d unique states, %d concolic runs, %v\n",
 		name, *strategy, report.Strategy, report.Transitions, report.UniqueStates,

@@ -21,6 +21,7 @@ import (
 
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/search"
+	"github.com/nice-go/nice/internal/telemetry"
 	"github.com/nice-go/nice/scenarios"
 )
 
@@ -63,6 +64,11 @@ type Suite struct {
 	GOARCH    string   `json:"goarch"`
 	CPUs      int      `json:"cpus"`
 	Results   []Result `json:"results"`
+	// Telemetry optionally embeds a search telemetry snapshot (from
+	// `nice -metrics-out`, attached via nice-bench -metrics) so one JSON
+	// artifact carries both the perf numbers and the engine's metric
+	// series.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // Options tunes a harness run.

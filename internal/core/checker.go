@@ -91,6 +91,7 @@ type Checker struct {
 	maxTrans   int64
 	stopReason StopReason
 	meter      *progressMeter
+	tel        *SearchTelemetry
 	start      time.Time
 
 	// eventBuf is the reused per-transition event batch: events are
@@ -146,16 +147,23 @@ func (c *Checker) RunContext(ctx context.Context, opts EngineOptions) *Report {
 	c.opts = opts
 	c.maxTrans = opts.EffectiveMaxTransitions(c.cfg)
 	c.start = time.Now()
-	c.meter = newProgressMeter("dfs", opts, c.start)
+	c.tel = NewSearchTelemetry(opts.Telemetry, "dfs")
+	c.caches.AttachTelemetry(opts.Telemetry)
+	c.meter = newProgressMeter(opts, c.start, c.tel, c.caches)
 
 	c.trace = c.trace[:0]
 	root := newSystem(c.cfg, c.caches)
+	root.SetTelemetry(NewSystemTelemetry(opts.Telemetry))
+	c.tel.SearchStart()
 	c.dfs(root)
 
 	c.report.SERuns = c.caches.SERuns()
 	c.report.Elapsed = time.Since(c.start)
 	c.report.StopReason = c.stopReason
+	// Final snapshot before SearchStop, so the trace stream ends on the
+	// search-stop event.
 	c.meter.final(c.progress(0))
+	c.tel.SearchStop(c.stopReason, c.report)
 	return c.report
 }
 
@@ -165,6 +173,9 @@ func (c *Checker) abort(r StopReason) {
 	c.stopped = true
 	if c.stopReason == StopNone {
 		c.stopReason = r
+		if r.Partial() {
+			c.tel.Budget(r, c.report.Transitions)
+		}
 	}
 	if r.Partial() {
 		c.report.Complete = false
@@ -214,6 +225,7 @@ func (c *Checker) dfs(sys *System) {
 	}
 	c.explored[h] = true
 	c.report.UniqueStates++
+	c.tel.ObserveDepth(len(c.trace))
 
 	depth := len(c.trace)
 	for len(c.transBufs) <= depth {
@@ -270,6 +282,7 @@ func (c *Checker) recordViolation(v Violation) {
 	if !c.seenViol[key] {
 		c.seenViol[key] = true
 		c.report.Violations = append(c.report.Violations, v)
+		c.tel.Violation(v.Property)
 		if c.opts.Observer != nil {
 			c.opts.Observer.OnViolation(v)
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/nice-go/nice/internal/canon"
+	"github.com/nice-go/nice/internal/telemetry"
 )
 
 // StopReason explains why a search ended before exhausting the state
@@ -71,6 +72,14 @@ type Progress struct {
 	Depth int
 	// StatesPerSec is UniqueStates/Elapsed.
 	StatesPerSec float64
+	// PeakHeapInUse is the peak in-use heap observed at snapshot times
+	// since the search started (process-wide bytes from
+	// runtime.MemStats — concurrent searches share the envelope).
+	PeakHeapInUse uint64
+	// CacheHitRate is the discover-cache lookup hit fraction so far.
+	// The counters live in the telemetry registry, so it stays 0 unless
+	// one is attached (EngineOptions.Telemetry).
+	CacheHitRate float64
 	// Final marks the last snapshot of a run, emitted as the engine
 	// returns, so observers always see the closing totals.
 	Final bool
@@ -134,6 +143,11 @@ type EngineOptions struct {
 	ProgressEvery time.Duration
 	// Caches shares a discover-cache set across runs (nil = fresh).
 	Caches *Caches
+	// Telemetry is the optional metrics registry the engines instrument
+	// into (internal/telemetry): per-engine counters, gauges, depth
+	// histograms and trace events. Nil — the default — disables every
+	// instrumentation site behind a single nil check.
+	Telemetry *telemetry.Registry
 }
 
 // ProgressInterval is the effective snapshot interval.
@@ -229,27 +243,52 @@ func (walkEngine) Search(ctx context.Context, cfg *Config, opts EngineOptions) *
 
 	walks := opts.WalkCount()
 	steps := opts.StepBound()
-	meter := newProgressMeter("walks", opts, start)
+	tel := NewSearchTelemetry(opts.Telemetry, "walks")
+	cc.AttachTelemetry(opts.Telemetry)
+	sysTel := NewSystemTelemetry(opts.Telemetry)
+	meter := newProgressMeter(opts, start, tel, cc)
 
+	// stopped ends the whole walk set — the unified stop contract all
+	// four engines share (see Report.StopReason): a budget, the context,
+	// or StopAtFirstViolation stops every remaining walk, not just the
+	// current one, and records why.
+	stopped := false
 	record := func(v Violation) {
 		key := v.Property + "|" + v.Err.Error()
-		if seenViol[key] {
-			return
+		if !seenViol[key] {
+			seenViol[key] = true
+			report.Violations = append(report.Violations, v)
+			tel.Violation(v.Property)
+			if opts.Observer != nil {
+				opts.Observer.OnViolation(v)
+			}
 		}
-		seenViol[key] = true
-		report.Violations = append(report.Violations, v)
-		if opts.Observer != nil {
-			opts.Observer.OnViolation(v)
+		if cfg.StopAtFirstViolation {
+			if report.StopReason == StopNone {
+				report.StopReason = StopViolation
+			}
+			stopped = true // Complete stays true: the search did its job.
 		}
 	}
 	abort := func(r StopReason) {
-		report.StopReason = r
-		report.Complete = false
+		if report.StopReason == StopNone {
+			report.StopReason = r
+			tel.Budget(r, report.Transitions)
+		}
+		if r.Partial() {
+			report.Complete = false
+		}
+		stopped = true
 	}
 
+	tel.SearchStart()
 walking:
 	for w := 0; w < walks; w++ {
+		if stopped {
+			break
+		}
 		sys := newSystem(cfg, cc)
+		sys.SetTelemetry(sysTel)
 		var trace []Transition
 		for step := 0; step < steps; step++ {
 			if maxTrans > 0 && report.Transitions >= maxTrans {
@@ -270,6 +309,7 @@ walking:
 			if !seen[h] {
 				seen[h] = true
 				report.UniqueStates++
+				tel.ObserveDepth(len(trace))
 			}
 			enabled := sys.Enabled()
 			if len(enabled) == 0 {
@@ -298,7 +338,10 @@ walking:
 	}
 	report.SERuns = cc.SERuns()
 	report.Elapsed = time.Since(start)
+	// Final snapshot before SearchStop, so the trace stream ends on the
+	// search-stop event.
 	meter.final(walkProgress(report, cc, start, 0))
+	tel.SearchStop(report.StopReason, report)
 	return report
 }
 
@@ -328,30 +371,49 @@ func snapshotProgress(strategy string, start time.Time,
 	}.Rated()
 }
 
-// progressMeter rations Observer progress callbacks on sequential hot
-// paths: maybe() is called once per transition but only consults the
-// clock every interval-check stride, and only emits when the interval
-// has elapsed. A nil-observer meter compiles to two cheap branches.
+// progressMeter rations progress snapshots on sequential hot paths:
+// maybe() is called once per transition but only consults the clock
+// every interval-check stride, and only emits when the interval has
+// elapsed. Emission feeds both the Observer and the telemetry registry;
+// with neither attached the meter compiles to two cheap branches.
 type progressMeter struct {
 	obs      Observer
+	tel      *SearchTelemetry
+	caches   *Caches
+	heap     HeapPeak
 	interval time.Duration
 	next     time.Time
 	calls    uint64
 }
 
-func newProgressMeter(strategy string, opts EngineOptions, start time.Time) *progressMeter {
-	m := &progressMeter{obs: opts.Observer}
-	if m.obs != nil {
+func newProgressMeter(opts EngineOptions, start time.Time,
+	tel *SearchTelemetry, cc *Caches) *progressMeter {
+	m := &progressMeter{obs: opts.Observer, tel: tel, caches: cc}
+	if m.active() {
 		m.interval = opts.ProgressInterval()
 		m.next = start.Add(m.interval)
 	}
 	return m
 }
 
+func (m *progressMeter) active() bool { return m.obs != nil || m.tel != nil }
+
+// emit enriches a snapshot with the sampled heap peak and discover-cache
+// hit rate, syncs it into the registry, and forwards it to the Observer.
+func (m *progressMeter) emit(p Progress, final bool) {
+	p.PeakHeapInUse = m.heap.Sample()
+	p.CacheHitRate = m.caches.HitRate()
+	p.Final = final
+	m.tel.SyncProgress(p)
+	if m.obs != nil {
+		m.obs.OnProgress(p)
+	}
+}
+
 // maybe emits a snapshot when the interval has elapsed; build is only
 // invoked when a snapshot is due.
 func (m *progressMeter) maybe(build func() Progress) {
-	if m.obs == nil {
+	if !m.active() {
 		return
 	}
 	m.calls++
@@ -360,15 +422,14 @@ func (m *progressMeter) maybe(build func() Progress) {
 	}
 	if now := time.Now(); now.After(m.next) {
 		m.next = now.Add(m.interval)
-		m.obs.OnProgress(build())
+		m.emit(build(), false)
 	}
 }
 
 // final emits the closing snapshot.
 func (m *progressMeter) final(p Progress) {
-	if m.obs == nil {
+	if !m.active() {
 		return
 	}
-	p.Final = true
-	m.obs.OnProgress(p)
+	m.emit(p, true)
 }

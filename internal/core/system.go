@@ -13,6 +13,7 @@ import (
 	"github.com/nice-go/nice/internal/canon"
 	"github.com/nice-go/nice/internal/cow"
 	"github.com/nice-go/nice/internal/sym"
+	"github.com/nice-go/nice/internal/telemetry"
 	"github.com/nice-go/nice/openflow"
 	"github.com/nice-go/nice/topo"
 )
@@ -46,6 +47,92 @@ type Caches struct {
 	packets map[packetsCacheKey][]openflow.Header
 	stats   map[statsCacheKey][][]openflow.PortStats
 	seRuns  atomic.Int64 // concolic explorations performed
+	// tel is the optional hit/miss instrumentation, attached race-free
+	// mid-lifetime (campaigns share one Caches across concurrent jobs).
+	// Nil means disabled: the lookup paths pay one atomic load.
+	tel atomic.Pointer[cacheTelemetry]
+}
+
+// cacheTelemetry is the discover-cache metric bundle ("cache" scope).
+type cacheTelemetry struct {
+	packetsHits   *telemetry.Counter
+	packetsMisses *telemetry.Counter
+	statsHits     *telemetry.Counter
+	statsMisses   *telemetry.Counter
+	evictions     *telemetry.Counter
+	scope         *telemetry.Scope
+}
+
+// AttachTelemetry wires the cache set's hit/miss/eviction counters into
+// a registry (idempotent per registry; nil is a no-op).
+func (c *Caches) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	sc := reg.Scope("cache")
+	c.tel.Store(&cacheTelemetry{
+		packetsHits:   sc.Counter("packets_hits"),
+		packetsMisses: sc.Counter("packets_misses"),
+		statsHits:     sc.Counter("stats_hits"),
+		statsMisses:   sc.Counter("stats_misses"),
+		evictions:     sc.Counter("evictions"),
+		scope:         sc,
+	})
+}
+
+// HitCounts reports discover-cache lookup hits and misses since
+// telemetry was attached (zeros without a registry).
+func (c *Caches) HitCounts() (hits, misses int64) {
+	t := c.tel.Load()
+	if t == nil {
+		return 0, 0
+	}
+	hits = t.packetsHits.Value() + t.statsHits.Value()
+	misses = t.packetsMisses.Value() + t.statsMisses.Value()
+	return hits, misses
+}
+
+// HitRate is the lookup hit fraction (0 before any counted lookup, and
+// always 0 without an attached registry). Nil-safe.
+func (c *Caches) HitRate() float64 {
+	if c == nil {
+		return 0
+	}
+	hits, misses := c.HitCounts()
+	if total := hits + misses; total > 0 {
+		return float64(hits) / float64(total)
+	}
+	return 0
+}
+
+// Prune empties the memo when it holds more than max entries, returning
+// the number dropped (0 when under the bound). Cache presence feeds
+// state identity, so pruning is only safe BETWEEN searches — long-lived
+// front ends that keep caches warm across many runs (campaigns, a
+// checking service) call it to bound memory; each subsequent search is
+// self-consistent, it merely starts cold again.
+func (c *Caches) Prune(max int) int {
+	c.mu.Lock()
+	n := len(c.packets) + len(c.stats)
+	if n <= max {
+		c.mu.Unlock()
+		return 0
+	}
+	c.packets = make(map[packetsCacheKey][]openflow.Header)
+	c.stats = make(map[statsCacheKey][][]openflow.PortStats)
+	c.mu.Unlock()
+	if t := c.tel.Load(); t != nil {
+		t.evictions.Add(int64(n))
+		t.scope.Emit(telemetry.TraceCacheEvict, int64(n), "prune")
+	}
+	return n
+}
+
+// Len is the total entry count across both memo maps.
+func (c *Caches) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.packets) + len(c.stats)
 }
 
 // NewCaches builds an empty discover-cache set.
@@ -63,6 +150,13 @@ func (c *Caches) getPackets(key packetsCacheKey) ([]openflow.Header, bool) {
 	c.mu.RLock()
 	v, ok := c.packets[key]
 	c.mu.RUnlock()
+	if t := c.tel.Load(); t != nil {
+		if ok {
+			t.packetsHits.Inc()
+		} else {
+			t.packetsMisses.Inc()
+		}
+	}
 	return v, ok
 }
 
@@ -82,6 +176,13 @@ func (c *Caches) getStats(key statsCacheKey) ([][]openflow.PortStats, bool) {
 	c.mu.RLock()
 	v, ok := c.stats[key]
 	c.mu.RUnlock()
+	if t := c.tel.Load(); t != nil {
+		if ok {
+			t.statsHits.Inc()
+		} else {
+			t.statsMisses.Inc()
+		}
+	}
 	return v, ok
 }
 
@@ -147,6 +248,11 @@ type System struct {
 	groupCounts map[string]int
 	// faults tracks the per-execution fault-budget usage.
 	faults faultState
+
+	// met is the optional cow instrumentation bundle (SetTelemetry),
+	// shared by the whole search: Clone hands it to every fork, Release
+	// drops it. Nil — the default — keeps every count site to one branch.
+	met *SystemTelemetry
 }
 
 // NewSystem builds the initial state: switches constructed from the
@@ -245,6 +351,15 @@ func (s *System) Clone() *System {
 	if s.cfg.DeepClone {
 		return s.deepClone()
 	}
+	if m := s.met; m != nil {
+		m.forks.Inc()
+		if s.cachesWarm {
+			// Every memoized component key is still valid — the
+			// fingerprint-cache hit that lets this fork skip the
+			// warming walk below.
+			m.forksWarm.Inc()
+		}
+	}
 	// Freeze the shared state: warm every memoized component key first
 	// (so frozen components are only ever read, never filled, even
 	// under the parallel engines), then retire this System's epoch so
@@ -258,6 +373,8 @@ func (s *System) Clone() *System {
 	c, _ := systemPool.Get().(*System)
 	if c == nil {
 		c = &System{}
+	} else if s.met != nil {
+		s.met.recycles.Inc()
 	}
 	c.cfg = s.cfg
 	c.caches = s.caches
@@ -276,6 +393,7 @@ func (s *System) Clone() *System {
 	c.groupCounts = s.groupCounts
 	c.faults = s.faults
 	c.cachesWarm = true
+	c.met = s.met
 	return c
 }
 
@@ -291,6 +409,10 @@ var systemPool = sync.Pool{New: func() any { return &System{} }}
 // pointer slices are recycled), but s itself must never be used again.
 // Releasing is optional — unreleased Systems are ordinary garbage.
 func (s *System) Release() {
+	if s.met != nil {
+		s.met.releases.Inc()
+		s.met = nil
+	}
 	s.cfg = nil
 	s.caches = nil
 	s.ctrl = nil
@@ -330,6 +452,10 @@ func (s *System) deepClone() *System {
 		lastGroup:   s.lastGroup,
 		groupCounts: make(map[string]int, len(s.groupCounts)),
 		faults:      s.faults,
+		met:         s.met,
+	}
+	if s.met != nil {
+		s.met.forks.Inc()
 	}
 	c.ctrl.SetOwner(epoch)
 	for k, v := range s.groupCounts {
@@ -410,6 +536,9 @@ func (s *System) ownSwitch(id openflow.SwitchID) *openflow.Switch {
 	if !sw.OwnedBy(s.epoch) {
 		sw = sw.Fork(s.epoch)
 		s.switches[i] = sw
+		if s.met != nil {
+			s.met.copies.Inc()
+		}
 	}
 	return sw
 }
@@ -422,6 +551,9 @@ func (s *System) ownHost(id openflow.HostID) *hosts.Host {
 	if !h.OwnedBy(s.epoch) {
 		h = h.Fork(s.epoch)
 		s.hosts[i] = h
+		if s.met != nil {
+			s.met.copies.Inc()
+		}
 	}
 	return h
 }
@@ -431,6 +563,9 @@ func (s *System) ownCtrl() *controller.Runtime {
 	s.cachesWarm = false
 	if !s.ctrl.OwnedBy(s.epoch) {
 		s.ctrl = s.ctrl.Fork(s.epoch)
+		if s.met != nil {
+			s.met.copies.Inc()
+		}
 	}
 	return s.ctrl
 }
@@ -447,6 +582,9 @@ func (s *System) ownProp(i int) Property {
 	if s.propsOwned&(1<<uint(i)) == 0 {
 		s.props[i] = forkProperty(s.props[i])
 		s.propsOwned |= 1 << uint(i)
+		if s.met != nil {
+			s.met.copies.Inc()
+		}
 	}
 	return s.props[i]
 }
@@ -463,6 +601,9 @@ func (s *System) ownGroupCounts() {
 	}
 	s.groupCounts = m
 	s.groupEpoch = s.epoch
+	if s.met != nil {
+		s.met.copies.Inc()
+	}
 }
 
 // Switch exposes a switch to properties and tooling (nil when unknown).

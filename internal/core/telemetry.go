@@ -1,0 +1,224 @@
+package core
+
+import (
+	"runtime"
+
+	"github.com/nice-go/nice/internal/telemetry"
+)
+
+// depthBounds are the fixed buckets of the per-engine trace-depth
+// histograms (the default depth bound is a few hundred; deeper lands in
+// the overflow bucket).
+var depthBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// SearchTelemetry is one engine's pre-resolved metric handle bundle.
+// Engines resolve it once at search start (NewSearchTelemetry takes the
+// registry lock per handle) and then touch only lock-free atomics; a
+// nil bundle — no registry attached — makes every method a single
+// branch, the disabled fast path the overhead benchmark gates.
+//
+// The engines already keep their own report counters on the hot path,
+// so the bundle is synced from them at progress-snapshot and stop time
+// (SyncProgress, SearchStop) instead of double-counting per transition;
+// only the signals no report counter carries — depth observations,
+// violations, steals — update live.
+type SearchTelemetry struct {
+	scope *telemetry.Scope
+
+	transitions  *telemetry.Counter
+	unique       *telemetry.Counter
+	revisits     *telemetry.Counter
+	truncated    *telemetry.Counter
+	seRuns       *telemetry.Counter
+	violations   *telemetry.Counter
+	steals       *telemetry.Counter
+	frontier     *telemetry.Gauge
+	frontierPeak *telemetry.Gauge
+	shardMax     *telemetry.Gauge
+	shardMean    *telemetry.Gauge
+	depth        *telemetry.Histogram
+
+	// lastBatch is the transition count at the previous expand-batch
+	// trace event. Only the snapshot path touches it, and each engine
+	// snapshots from a single goroutine at a time (the sequential meter,
+	// or the parallel ticker joined before the final emit).
+	lastBatch int64
+}
+
+// NewSearchTelemetry resolves the per-engine handle bundle under the
+// engine's scope, or nil when no registry is attached.
+func NewSearchTelemetry(reg *telemetry.Registry, engine string) *SearchTelemetry {
+	if reg == nil {
+		return nil
+	}
+	sc := reg.Scope(engine)
+	return &SearchTelemetry{
+		scope:        sc,
+		transitions:  sc.Counter("transitions"),
+		unique:       sc.Counter("unique_states"),
+		revisits:     sc.Counter("revisits"),
+		truncated:    sc.Counter("truncated"),
+		seRuns:       sc.Counter("se_runs"),
+		violations:   sc.Counter("violations"),
+		steals:       sc.Counter("steals"),
+		frontier:     sc.Gauge("frontier"),
+		frontierPeak: sc.Gauge("frontier_peak"),
+		shardMax:     sc.Gauge("seen_shard_max"),
+		shardMean:    sc.Gauge("seen_shard_mean"),
+		depth:        sc.Histogram("depth", depthBounds),
+	}
+}
+
+// SearchStart emits the search-start trace event.
+func (t *SearchTelemetry) SearchStart() {
+	if t == nil {
+		return
+	}
+	t.scope.Emit(telemetry.TraceSearchStart, 0, "")
+}
+
+// SearchStop syncs the final report counters and emits the search-stop
+// trace event (note = stop reason, "complete" when none).
+func (t *SearchTelemetry) SearchStop(reason StopReason, r *Report) {
+	if t == nil {
+		return
+	}
+	t.transitions.Store(r.Transitions)
+	t.unique.Store(r.UniqueStates)
+	t.revisits.Store(r.Revisits)
+	t.truncated.Store(r.Truncated)
+	t.seRuns.Store(r.SERuns)
+	t.violations.Store(int64(len(r.Violations)))
+	note := string(reason)
+	if reason == StopNone {
+		note = "complete"
+	}
+	t.scope.Emit(telemetry.TraceSearchStop, r.UniqueStates, note)
+}
+
+// SyncProgress stores a progress snapshot's counters into the registry
+// and emits a rationed expand-batch trace event carrying the transition
+// delta since the previous snapshot. Called from each engine's single
+// snapshot goroutine.
+func (t *SearchTelemetry) SyncProgress(p Progress) {
+	if t == nil {
+		return
+	}
+	t.transitions.Store(p.Transitions)
+	t.unique.Store(p.UniqueStates)
+	t.revisits.Store(p.Revisits)
+	t.truncated.Store(p.Truncated)
+	t.seRuns.Store(p.SERuns)
+	t.frontier.Set(p.Frontier)
+	t.frontierPeak.SetMax(p.Frontier)
+	if d := p.Transitions - t.lastBatch; d > 0 {
+		t.lastBatch = p.Transitions
+		t.scope.Emit(telemetry.TraceExpandBatch, d, "")
+	}
+}
+
+// ObserveDepth records one reached state's trace depth.
+func (t *SearchTelemetry) ObserveDepth(depth int) {
+	if t == nil {
+		return
+	}
+	t.depth.Observe(int64(depth))
+}
+
+// Violation counts a recorded violation and traces it.
+func (t *SearchTelemetry) Violation(property string) {
+	if t == nil {
+		return
+	}
+	t.violations.Inc()
+	t.scope.Emit(telemetry.TraceViolation, 1, property)
+}
+
+// Budget traces a budget/cancellation drawdown aborting the search.
+func (t *SearchTelemetry) Budget(reason StopReason, transitions int64) {
+	if t == nil {
+		return
+	}
+	t.scope.Emit(telemetry.TraceBudget, transitions, string(reason))
+}
+
+// SyncSteals syncs the frontier's steal counter (parallel engine).
+func (t *SearchTelemetry) SyncSteals(n int64) {
+	if t == nil {
+		return
+	}
+	t.steals.Store(n)
+}
+
+// SetShardOccupancy records the seen-set's max and mean shard sizes —
+// the shard-contention signal, captured once at search stop.
+func (t *SearchTelemetry) SetShardOccupancy(max, mean int64) {
+	if t == nil {
+		return
+	}
+	t.shardMax.Set(max)
+	t.shardMean.Set(mean)
+}
+
+// HeapPeak tracks the peak in-use heap across progress samples. Sample
+// reads runtime.MemStats (a stop-the-world-ish call), so it runs only
+// on the rationed snapshot path, never per transition. Each engine owns
+// one and samples it from its single snapshot goroutine.
+type HeapPeak struct {
+	peak uint64
+}
+
+// Sample reads the current in-use heap and returns the running peak.
+func (h *HeapPeak) Sample() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapInuse > h.peak {
+		h.peak = ms.HeapInuse
+	}
+	return h.peak
+}
+
+// SystemTelemetry is the copy-on-write instrumentation bundle shared by
+// every System of one search (Clone propagates the pointer to forks).
+// The counters sit on the internal/cow protocol's call sites: forks,
+// lazy ensureOwned component copies, releases and pool recycles — plus
+// forks_warm, the fingerprint-cache hit signal (a fork that found every
+// memoized component key already warm skipped the warming walk).
+type SystemTelemetry struct {
+	forks     *telemetry.Counter
+	forksWarm *telemetry.Counter
+	copies    *telemetry.Counter
+	releases  *telemetry.Counter
+	recycles  *telemetry.Counter
+}
+
+// NewSystemTelemetry resolves the cow-scope handles, or nil when no
+// registry is attached.
+func NewSystemTelemetry(reg *telemetry.Registry) *SystemTelemetry {
+	if reg == nil {
+		return nil
+	}
+	sc := reg.Scope("cow")
+	return &SystemTelemetry{
+		forks:     sc.Counter("forks"),
+		forksWarm: sc.Counter("forks_warm"),
+		copies:    sc.Counter("ensure_owned_copies"),
+		releases:  sc.Counter("releases"),
+		recycles:  sc.Counter("pool_recycles"),
+	}
+}
+
+// SetTelemetry attaches the cow instrumentation bundle to this System;
+// Clone propagates it to every fork. Engines call it on the root state
+// (walk engines on each walk's fresh root).
+func (s *System) SetTelemetry(m *SystemTelemetry) { s.met = m }
+
+// AttachTelemetry wires a System and its discover caches into a
+// registry — the one-call form front ends use.
+func (s *System) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.SetTelemetry(NewSystemTelemetry(reg))
+	s.caches.AttachTelemetry(reg)
+}

@@ -68,7 +68,10 @@ type frontier struct {
 	// (workers decrement only after expanding, so any children are
 	// already counted).
 	pending atomic.Int64
-	stop    *atomic.Bool
+	// steals counts successful head-steals — the load-imbalance signal
+	// telemetry surfaces as <engine>.steals.
+	steals atomic.Int64
+	stop   *atomic.Bool
 }
 
 type deque struct {
@@ -127,6 +130,7 @@ func (f *frontier) steal(w int) (item, bool) {
 				d.head = 0
 			}
 			d.mu.Unlock()
+			f.steals.Add(1)
 			return it, true
 		}
 		d.mu.Unlock()

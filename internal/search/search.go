@@ -242,13 +242,24 @@ func watchContext(ctx context.Context, sc *stopControl) func() {
 	return func() { close(done) }
 }
 
-// startProgress streams periodic snapshots to the observer from one
-// ticker goroutine. The returned func joins that goroutine and then
-// emits the final snapshot, so the Final=true snapshot is always the
-// last OnProgress call — nothing fires after Run returns.
-func startProgress(eo core.EngineOptions, snap func() core.Progress) func() {
-	if eo.Observer == nil {
+// startProgress streams periodic snapshots to the observer and the
+// telemetry registry from one ticker goroutine. The returned func joins
+// that goroutine and then emits the final snapshot, so the Final=true
+// snapshot is always the last OnProgress call — nothing fires after Run
+// returns (and the registry sync inherits the same single-goroutine
+// discipline the snapshot closure relies on).
+func startProgress(eo core.EngineOptions, tel *core.SearchTelemetry,
+	snap func() core.Progress) func() {
+	if eo.Observer == nil && tel == nil {
 		return func() {}
+	}
+	emit := func(final bool) {
+		p := snap()
+		p.Final = final
+		tel.SyncProgress(p)
+		if eo.Observer != nil {
+			eo.Observer.OnProgress(p)
+		}
 	}
 	done := make(chan struct{})
 	idle := make(chan struct{})
@@ -259,7 +270,7 @@ func startProgress(eo core.EngineOptions, snap func() core.Progress) func() {
 		for {
 			select {
 			case <-ticker.C:
-				eo.Observer.OnProgress(snap())
+				emit(false)
 			case <-done:
 				return
 			}
@@ -268,9 +279,7 @@ func startProgress(eo core.EngineOptions, snap func() core.Progress) func() {
 	return func() {
 		close(done)
 		<-idle
-		p := snap()
-		p.Final = true
-		eo.Observer.OnProgress(p)
+		emit(true)
 	}
 }
 
@@ -290,6 +299,8 @@ type hybridState struct {
 	maxTrans  int64 // merged transition budget (0 = unlimited)
 	maxStates int64
 	obs       core.Observer
+	tel       *core.SearchTelemetry
+	heap      core.HeapPeak // sampled only from the snapshot goroutine
 }
 
 func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Report {
@@ -302,10 +313,13 @@ func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Rep
 		maxTrans:  eo.EffectiveMaxTransitions(e.cfg),
 		maxStates: eo.MaxStates,
 		obs:       eo.Observer,
+		tel:       core.NewSearchTelemetry(eo.Telemetry, "parallel"),
 	}
 	st.frontier = newFrontier(workers, &st.ctl.stop)
+	e.caches.AttachTelemetry(eo.Telemetry)
 
 	root := core.NewSystemWith(e.cfg, e.caches)
+	root.SetTelemetry(core.NewSystemTelemetry(eo.Telemetry))
 	st.seen.Add(root.Fingerprint())
 	st.unique.Add(1)
 	st.frontier.push(0, item{sys: root})
@@ -314,7 +328,8 @@ func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Rep
 	snap := func() core.Progress {
 		return e.snapshot(st, start)
 	}
-	stopProgress := startProgress(eo, snap)
+	st.tel.SearchStart()
+	stopProgress := startProgress(eo, st.tel, snap)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -352,20 +367,32 @@ func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Rep
 		StopReason:   reason,
 	}
 	stopProgress()
+	if reason.Partial() {
+		st.tel.Budget(reason, report.Transitions)
+	}
+	st.tel.SyncSteals(st.frontier.steals.Load())
+	if st.tel != nil {
+		max, mean := st.seen.occupancy()
+		st.tel.SetShardOccupancy(max, mean)
+	}
+	st.tel.SearchStop(reason, report)
 	return report
 }
 
 func (e *Engine) snapshot(st *hybridState, start time.Time) core.Progress {
+	st.tel.SyncSteals(st.frontier.steals.Load())
 	return core.Progress{
-		Strategy:     "parallel",
-		Elapsed:      time.Since(start),
-		Transitions:  st.transitions.Load(),
-		UniqueStates: st.unique.Load(),
-		Revisits:     st.revisits.Load(),
-		Truncated:    st.truncated.Load(),
-		SERuns:       e.caches.SERuns(),
-		Frontier:     st.frontier.pending.Load(),
-		Depth:        int(st.maxDepth.Load()),
+		Strategy:      "parallel",
+		Elapsed:       time.Since(start),
+		Transitions:   st.transitions.Load(),
+		UniqueStates:  st.unique.Load(),
+		Revisits:      st.revisits.Load(),
+		Truncated:     st.truncated.Load(),
+		SERuns:        e.caches.SERuns(),
+		Frontier:      st.frontier.pending.Load(),
+		Depth:         int(st.maxDepth.Load()),
+		PeakHeapInUse: st.heap.Sample(),
+		CacheHitRate:  e.caches.HitRate(),
 	}.Rated()
 }
 
@@ -432,7 +459,8 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 			if n := st.unique.Add(1); st.maxStates > 0 && n >= st.maxStates {
 				st.ctl.abort(core.StopMaxStates)
 			}
-			if st.obs != nil {
+			st.tel.ObserveDepth(depth + 1)
+			if st.obs != nil || st.tel != nil {
 				maxInt64(&st.maxDepth, int64(depth+1))
 			}
 			st.frontier.push(w, item{sys: child,
@@ -455,8 +483,11 @@ func maxInt64(m *atomic.Int64, v int64) {
 }
 
 func (e *Engine) record(v core.Violation, st *hybridState) {
-	if st.viols.add(v) && st.obs != nil {
-		st.obs.OnViolation(v)
+	if st.viols.add(v) {
+		st.tel.Violation(v.Property)
+		if st.obs != nil {
+			st.obs.OnViolation(v)
+		}
 	}
 	if e.cfg.StopAtFirstViolation {
 		st.ctl.abort(core.StopViolation)

@@ -63,3 +63,22 @@ func (s *seenSet) Len() int64 {
 	}
 	return n
 }
+
+// occupancy reports the largest and mean shard sizes — the striping
+// balance telemetry surfaces as seen_shard_max/seen_shard_mean. A max
+// far above the mean means the digest bits feeding shard selection are
+// clumping and the hot shard's mutex is a contention point.
+func (s *seenSet) occupancy() (max, mean int64) {
+	var total int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n := int64(len(sh.m))
+		sh.mu.Unlock()
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	return max, total / int64(len(s.shards))
+}

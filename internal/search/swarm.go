@@ -22,6 +22,9 @@ type swarmState struct {
 	maxTrans  int64
 	maxStates int64
 	obs       core.Observer
+	tel       *core.SearchTelemetry
+	sysTel    *core.SystemTelemetry
+	heap      core.HeapPeak // sampled only from the snapshot goroutine
 }
 
 // runSwarm scales the paper's random-walk mode (§1.3) across the
@@ -50,18 +53,24 @@ func (e *Engine) runSwarm(ctx context.Context, eo core.EngineOptions) *core.Repo
 		maxTrans:  eo.EffectiveMaxTransitions(e.cfg),
 		maxStates: eo.MaxStates,
 		obs:       eo.Observer,
+		tel:       core.NewSearchTelemetry(eo.Telemetry, "swarm"),
+		sysTel:    core.NewSystemTelemetry(eo.Telemetry),
 	}
+	e.caches.AttachTelemetry(eo.Telemetry)
 
 	unwatch := watchContext(ctx, &st.ctl)
 	// Swarm snapshots carry only the counters walks track: no frontier,
 	// revisit or truncation accounting exists in this mode.
-	stopProgress := startProgress(eo, func() core.Progress {
+	st.tel.SearchStart()
+	stopProgress := startProgress(eo, st.tel, func() core.Progress {
 		return core.Progress{
-			Strategy:     "swarm",
-			Elapsed:      time.Since(start),
-			Transitions:  st.transitions.Load(),
-			UniqueStates: st.unique.Load(),
-			SERuns:       e.caches.SERuns(),
+			Strategy:      "swarm",
+			Elapsed:       time.Since(start),
+			Transitions:   st.transitions.Load(),
+			UniqueStates:  st.unique.Load(),
+			SERuns:        e.caches.SERuns(),
+			PeakHeapInUse: st.heap.Sample(),
+			CacheHitRate:  e.caches.HitRate(),
 		}.Rated()
 	})
 
@@ -93,6 +102,14 @@ func (e *Engine) runSwarm(ctx context.Context, eo core.EngineOptions) *core.Repo
 		StopReason:   reason,
 	}
 	stopProgress()
+	if reason.Partial() {
+		st.tel.Budget(reason, report.Transitions)
+	}
+	if st.tel != nil {
+		max, mean := st.seen.occupancy()
+		st.tel.SetShardOccupancy(max, mean)
+	}
+	st.tel.SearchStop(reason, report)
 	return report
 }
 
@@ -101,6 +118,7 @@ func (e *Engine) runSwarm(ctx context.Context, eo core.EngineOptions) *core.Repo
 func (e *Engine) walk(seed int64, steps int, st *swarmState) {
 	rng := rand.New(rand.NewSource(seed))
 	sys := core.NewSystemWith(e.cfg, e.caches)
+	sys.SetTelemetry(st.sysTel)
 	var trace []core.Transition
 	events := getEventBuf()
 	defer func() { putEventBuf(events) }()
@@ -112,6 +130,7 @@ func (e *Engine) walk(seed int64, steps int, st *swarmState) {
 			if n := st.unique.Add(1); st.maxStates > 0 && n >= st.maxStates {
 				st.ctl.abort(core.StopMaxStates)
 			}
+			st.tel.ObserveDepth(len(trace))
 		}
 		enabled := sys.Enabled()
 		if len(enabled) == 0 {
@@ -144,8 +163,11 @@ func (e *Engine) walk(seed int64, steps int, st *swarmState) {
 }
 
 func (e *Engine) recordSwarm(v core.Violation, st *swarmState) {
-	if st.viols.add(v) && st.obs != nil {
-		st.obs.OnViolation(v)
+	if st.viols.add(v) {
+		st.tel.Violation(v.Property)
+		if st.obs != nil {
+			st.obs.OnViolation(v)
+		}
 	}
 	if e.cfg.StopAtFirstViolation {
 		st.ctl.abort(core.StopViolation)

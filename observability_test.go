@@ -1,0 +1,292 @@
+// Tests for the observability surface: Observer delivery ordering under
+// the parallel engine, the telemetry registry's integration with every
+// engine, campaign-level aggregation, and discover-cache pruning.
+package nice_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nice-go/nice"
+	"github.com/nice-go/nice/scenarios"
+)
+
+// orderingObserver records every callback in arrival order, under one
+// mutex, so the test can assert global delivery ordering.
+type orderingObserver struct {
+	streamCollector
+	events []string // "violation" / "progress" / "final", in order
+}
+
+func (o *orderingObserver) OnViolation(v nice.Violation) {
+	o.mu.Lock()
+	o.violations = append(o.violations, v)
+	o.events = append(o.events, "violation")
+	o.mu.Unlock()
+}
+
+func (o *orderingObserver) OnProgress(p nice.Progress) {
+	o.mu.Lock()
+	o.progress = append(o.progress, p)
+	if p.Final {
+		o.events = append(o.events, "final")
+	} else {
+		o.events = append(o.events, "progress")
+	}
+	o.mu.Unlock()
+}
+
+// TestObserverOrderingParallel: under the parallel engine (run with
+// -race in CI), the Final=true snapshot is delivered exactly once, after
+// every violation and every periodic snapshot, and carries the closing
+// report totals — nothing fires after Run returns.
+func TestObserverOrderingParallel(t *testing.T) {
+	build := func() *nice.Config {
+		cfg := scenarios.MustLookup("pyswitch-bench").Config(3)
+		return cfg // full search: violations stream while workers race
+	}
+	obs := &orderingObserver{}
+	report := nice.Run(context.Background(), build(),
+		nice.WithWorkers(4),
+		nice.WithObserver(obs),
+		nice.WithProgressEvery(time.Millisecond))
+
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.events) == 0 {
+		t.Fatal("no observer callbacks at all")
+	}
+	var finals int
+	for i, ev := range obs.events {
+		if ev == "final" {
+			finals++
+			if i != len(obs.events)-1 {
+				t.Errorf("final snapshot was event %d of %d — callbacks fired after it",
+					i+1, len(obs.events))
+			}
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("%d final snapshots, want exactly 1", finals)
+	}
+	if len(obs.violations) < len(report.Violations) {
+		t.Errorf("streamed %d violations, report has %d",
+			len(obs.violations), len(report.Violations))
+	}
+	last := obs.progress[len(obs.progress)-1]
+	if !last.Final {
+		t.Error("last recorded progress snapshot is not the final one")
+	}
+	if last.Transitions != report.Transitions || last.UniqueStates != report.UniqueStates {
+		t.Errorf("final snapshot %d/%d != report %d/%d",
+			last.Transitions, last.UniqueStates, report.Transitions, report.UniqueStates)
+	}
+	if last.PeakHeapInUse == 0 {
+		t.Error("final snapshot carries no PeakHeapInUse sample")
+	}
+}
+
+// TestTelemetryAcrossEngines: with a registry attached, every engine
+// publishes counters that agree with its report, a populated depth
+// histogram, COW-layer counts, and a trace stream bracketed by
+// search-start/search-stop.
+func TestTelemetryAcrossEngines(t *testing.T) {
+	engines := map[string]struct {
+		opts  []nice.RunOption
+		forks bool // exhaustive engines fork per transition; walks apply in place
+	}{
+		"dfs":      {forks: true},
+		"parallel": {opts: []nice.RunOption{nice.WithWorkers(4)}, forks: true},
+		"walks":    {opts: []nice.RunOption{nice.WithWalks(7, 50, 60)}},
+		"swarm":    {opts: []nice.RunOption{nice.WithWalks(7, 50, 60), nice.WithWorkers(4)}},
+	}
+	for engine, tc := range engines {
+		eopts, wantForks := tc.opts, tc.forks
+		t.Run(engine, func(t *testing.T) {
+			reg := nice.NewTelemetry()
+			opts := append([]nice.RunOption{nice.WithTelemetry(reg)}, eopts...)
+			report := nice.Run(context.Background(), fullBugII(), opts...)
+
+			snap := reg.Snapshot()
+			if err := snap.Validate(); err != nil {
+				t.Fatalf("snapshot invalid: %v", err)
+			}
+			scope := report.Strategy
+			if got := snap.Counter(scope + ".transitions"); got != report.Transitions {
+				t.Errorf("%s.transitions = %d, report says %d", scope, got, report.Transitions)
+			}
+			if got := snap.Counter(scope + ".unique_states"); got != report.UniqueStates {
+				t.Errorf("%s.unique_states = %d, report says %d", scope, got, report.UniqueStates)
+			}
+			if got := snap.Counter(scope + ".violations"); got != int64(len(report.Violations)) {
+				t.Errorf("%s.violations = %d, report has %d", scope, got, len(report.Violations))
+			}
+			depth, ok := snap.Histograms[scope+".depth"]
+			if !ok || depth.Count == 0 {
+				t.Errorf("%s.depth histogram missing or empty", scope)
+			}
+			if depth.Count > report.UniqueStates {
+				t.Errorf("%s.depth observed %d states, report has %d",
+					scope, depth.Count, report.UniqueStates)
+			}
+			if wantForks && (snap.Counter("cow.forks") == 0 || snap.Counter("cow.releases") == 0) {
+				t.Errorf("COW layer not counted: forks=%d releases=%d",
+					snap.Counter("cow.forks"), snap.Counter("cow.releases"))
+			}
+			if len(snap.Trace) < 2 {
+				t.Fatalf("trace stream has %d events, want at least start+stop", len(snap.Trace))
+			}
+			first, last := snap.Trace[0], snap.Trace[len(snap.Trace)-1]
+			if first.Kind != nice.TraceSearchStart {
+				t.Errorf("first trace event = %q, want %q", first.Kind, nice.TraceSearchStart)
+			}
+			if last.Kind != nice.TraceSearchStop || last.N != report.UniqueStates {
+				t.Errorf("last trace event = %q/%d, want %q/%d",
+					last.Kind, last.N, nice.TraceSearchStop, report.UniqueStates)
+			}
+		})
+	}
+}
+
+// TestTelemetrySnapshotFileRoundTrip: WriteFile → LoadTelemetrySnapshot
+// preserves the series `nice -metrics-out` relies on.
+func TestTelemetrySnapshotFileRoundTrip(t *testing.T) {
+	reg := nice.NewTelemetry()
+	nice.Run(context.Background(), fullBugII(), nice.WithTelemetry(reg))
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := reg.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := nice.LoadTelemetrySnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("cow.forks") != reg.Snapshot().Counter("cow.forks") {
+		t.Error("cow.forks lost in the file round trip")
+	}
+	if len(back.HistogramsWithSuffix(".depth")) == 0 {
+		t.Error("depth histogram lost in the file round trip")
+	}
+}
+
+// TestTelemetryMuxServesSearch: the live mux serves the snapshot of a
+// finished search as well-formed JSON.
+func TestTelemetryMuxServesSearch(t *testing.T) {
+	reg := nice.NewTelemetry()
+	report := nice.Run(context.Background(), fullBugII(), nice.WithTelemetry(reg))
+
+	srv := httptest.NewServer(nice.TelemetryMux(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap nice.TelemetrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counter("dfs.transitions"); got != report.Transitions {
+		t.Errorf("served dfs.transitions = %d, report says %d", got, report.Transitions)
+	}
+}
+
+// TestCampaignTelemetryAndResults: a campaign with a registry attached
+// aggregates per-job outcomes under the campaign scope, and each result
+// carries the per-job COW and cache-hit columns the run-all table shows.
+func TestCampaignTelemetryAndResults(t *testing.T) {
+	c := &nice.Campaign{
+		Jobs: []nice.CampaignJob{
+			{Scenario: "bug-ii"},
+			{Scenario: "bug-iii"},
+		},
+		ShareCaches: true,
+		CachePrune:  1, // prune between sequential jobs: evictions must trace
+		Telemetry:   nice.NewTelemetry(),
+	}
+	report := c.Run(context.Background())
+	if !report.OK() {
+		t.Fatalf("campaign not OK: %+v", report.Results)
+	}
+
+	snap := c.Telemetry.Snapshot()
+	if got := snap.Counter("campaign.jobs"); got != int64(len(c.Jobs)) {
+		t.Errorf("campaign.jobs = %d, want %d", got, len(c.Jobs))
+	}
+	if got := snap.Counter("campaign.outcome_" + nice.OutcomeFound); got != 2 {
+		t.Errorf("campaign.outcome_%s = %d, want 2", nice.OutcomeFound, got)
+	}
+	var states int64
+	for i := range report.Results {
+		res := &report.Results[i]
+		states += res.UniqueStates
+		if res.COWForks == 0 {
+			t.Errorf("%s: COWForks = 0", res.Label)
+		}
+		if res.StatesPerSec == 0 {
+			t.Errorf("%s: StatesPerSec = 0 — final Progress not captured", res.Label)
+		}
+		if res.PeakHeapBytes == 0 {
+			t.Errorf("%s: PeakHeapBytes = 0 — final Progress not captured", res.Label)
+		}
+	}
+	if got := snap.Counter("campaign.unique_states"); got != states {
+		t.Errorf("campaign.unique_states = %d, results sum to %d", got, states)
+	}
+
+	var text strings.Builder
+	report.WriteText(&text)
+	if !strings.Contains(text.String(), "hit%") {
+		t.Error("run-all table lost the cache hit-rate column")
+	}
+}
+
+// TestCachesPrune: pruning a shared cache set between searches empties
+// it, counts the evictions, and traces a cache-evict event — and a
+// rerun on the pruned set still completes identically.
+func TestCachesPrune(t *testing.T) {
+	reg := nice.NewTelemetry()
+	cc := nice.NewCaches()
+	build := func() *nice.Config { return scenarios.MustLookup("bug-ii").Config(0) }
+	first := nice.Run(context.Background(), build(),
+		nice.WithCaches(cc), nice.WithTelemetry(reg))
+
+	n := cc.Len()
+	if n == 0 {
+		t.Fatal("search filled no discover caches — pick a symbolic scenario")
+	}
+	if got := cc.Prune(n + 1); got != 0 {
+		t.Errorf("Prune above the bound evicted %d entries", got)
+	}
+	if got := cc.Prune(1); got != n {
+		t.Errorf("Prune(1) evicted %d entries, want %d", got, n)
+	}
+	if cc.Len() != 0 {
+		t.Errorf("pruned cache still holds %d entries", cc.Len())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("cache.evictions"); got != int64(n) {
+		t.Errorf("cache.evictions = %d, want %d", got, n)
+	}
+	evicted := false
+	for _, ev := range snap.Trace {
+		if ev.Kind == nice.TraceCacheEvict && ev.N == int64(n) {
+			evicted = true
+		}
+	}
+	if !evicted {
+		t.Errorf("no %s trace event for the prune", nice.TraceCacheEvict)
+	}
+
+	again := nice.Run(context.Background(), build(), nice.WithCaches(cc))
+	if again.UniqueStates != first.UniqueStates || len(again.Violations) != len(first.Violations) {
+		t.Errorf("search on pruned caches diverged: %d/%d states, %d/%d violations",
+			again.UniqueStates, first.UniqueStates, len(again.Violations), len(first.Violations))
+	}
+}

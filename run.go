@@ -143,6 +143,16 @@ func WithCaches(cc *Caches) RunOption {
 	return func(s *runSettings) { s.eo.Caches = cc }
 }
 
+// WithTelemetry attaches a metrics registry to the search: the engine
+// publishes its counters, depth histogram and trace events under its
+// scope ("dfs", "parallel", "walks", "swarm"), the COW layer under
+// "cow", and the discover caches under "cache". A nil registry — or no
+// WithTelemetry at all — keeps every instrumentation site on its
+// single-branch disabled fast path.
+func WithTelemetry(reg *Telemetry) RunOption {
+	return func(s *runSettings) { s.eo.Telemetry = reg }
+}
+
 // Run is the unified checking entry point: one search over cfg, on a
 // pluggable engine, under a context and budgets, optionally streaming
 // to an Observer — the paper's single search loop (§1.3, §4) behind

@@ -1,0 +1,118 @@
+// Tests for the unified Report.StopReason contract: every engine
+// records the same reason for the same cause, with the same
+// Complete/Partial semantics — stopping at the first violation is a
+// complete search, budgets and cancellation are partial ones.
+package nice_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/nice-go/nice"
+	"github.com/nice-go/nice/scenarios"
+)
+
+// TestStopReasonMatrix drives every cause through all four engines.
+// Historically the walks engine left StopReason empty on a
+// first-violation stop (and kept walking the remaining walks); the
+// matrix pins the unified contract so no engine drifts again.
+func TestStopReasonMatrix(t *testing.T) {
+	engines := map[string][]nice.RunOption{
+		"dfs":      nil,
+		"parallel": {nice.WithWorkers(4)},
+		"walks":    {nice.WithWalks(7, 400, 100)},
+		"swarm":    {nice.WithWalks(7, 400, 100), nice.WithWorkers(4)},
+	}
+
+	causes := []struct {
+		name  string
+		build func() *nice.Config
+		opts  []nice.RunOption
+		ctx   func() (context.Context, context.CancelFunc)
+
+		reason        nice.StopReason
+		complete      bool
+		wantViolation bool
+	}{
+		{
+			name:     "complete",
+			build:    fullBugII, // early stop off: the space is exhausted
+			reason:   nice.StopNone,
+			complete: true,
+		},
+		{
+			// bug-iv's violation is shallow enough that the seeded walks
+			// reliably stumble on it too, so all four engines stop here.
+			name: "violation-stop",
+			build: func() *nice.Config {
+				return scenarios.MustLookup("bug-iv").Config(0)
+			},
+			reason:        nice.StopViolation,
+			complete:      true, // stopping at the first violation is the search doing its job
+			wantViolation: true,
+		},
+		{
+			name:     "max-states",
+			build:    fullBugII,
+			opts:     []nice.RunOption{nice.WithMaxStates(50)},
+			reason:   nice.StopMaxStates,
+			complete: false,
+		},
+		{
+			name:     "max-transitions",
+			build:    fullBugII,
+			opts:     []nice.RunOption{nice.WithMaxTransitions(100)},
+			reason:   nice.StopMaxTransitions,
+			complete: false,
+		},
+		{
+			name:     "deadline",
+			build:    func() *nice.Config { return pingpong(4) },
+			opts:     []nice.RunOption{nice.WithDeadline(time.Millisecond)},
+			reason:   nice.StopDeadline,
+			complete: false,
+		},
+		{
+			name:  "canceled",
+			build: fullBugII,
+			ctx: func() (context.Context, context.CancelFunc) {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel() // canceled before the search starts
+				return ctx, cancel
+			},
+			reason:   nice.StopCanceled,
+			complete: false,
+		},
+	}
+
+	for _, cause := range causes {
+		for engine, eopts := range engines {
+			t.Run(cause.name+"/"+engine, func(t *testing.T) {
+				ctx := context.Background()
+				if cause.ctx != nil {
+					var cancel context.CancelFunc
+					ctx, cancel = cause.ctx()
+					defer cancel()
+				}
+				opts := append(append([]nice.RunOption{}, cause.opts...), eopts...)
+				r := nice.Run(ctx, cause.build(), opts...)
+
+				if r.StopReason != cause.reason {
+					t.Errorf("StopReason = %q, want %q", r.StopReason, cause.reason)
+				}
+				if r.Complete != cause.complete {
+					t.Errorf("Complete = %v, want %v (reason %q)",
+						r.Complete, cause.complete, r.StopReason)
+				}
+				if r.Complete == r.StopReason.Partial() {
+					t.Errorf("Complete %v inconsistent with StopReason %q partiality",
+						r.Complete, r.StopReason)
+				}
+				if cause.wantViolation && len(r.Violations) == 0 {
+					t.Error("expected the violation that stopped the search")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// The telemetry overhead contract: with no registry attached every
+// instrumentation site is a single branch, so an uninstrumented search
+// must run at the same states/sec as before the telemetry layer
+// existed; with a registry attached the live counters and rationed
+// snapshot syncs must stay under a few percent.
+package nice_test
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"github.com/nice-go/nice"
+	"github.com/nice-go/nice/scenarios"
+)
+
+// overheadWorkload is the scaled pyswitch full search — the same gated
+// workload the bench harness uses, big enough (~10k states) that
+// per-transition costs dominate setup.
+func overheadWorkload() *nice.Config {
+	return scenarios.MustLookup("pyswitch-bench").Config(3)
+}
+
+// runOnce runs the workload, optionally instrumented, and returns its
+// unique-state throughput.
+func runOnce(reg *nice.Telemetry) float64 {
+	var opts []nice.RunOption
+	if reg != nil {
+		opts = append(opts, nice.WithTelemetry(reg))
+	}
+	r := nice.Run(context.Background(), overheadWorkload(), opts...)
+	if secs := r.Elapsed.Seconds(); secs > 0 {
+		return float64(r.UniqueStates) / secs
+	}
+	return 0
+}
+
+// BenchmarkTelemetryOverhead measures the same full search with the
+// registry disabled (nil — the hot-path fast path) and enabled. Compare
+// the two states/sec figures; the enabled run carries the counters, the
+// depth histogram and the trace stream.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, mode := range []string{"disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			var states int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var reg *nice.Telemetry
+				if mode == "enabled" {
+					reg = nice.NewTelemetry()
+				}
+				var opts []nice.RunOption
+				if reg != nil {
+					opts = append(opts, nice.WithTelemetry(reg))
+				}
+				r := nice.Run(context.Background(), overheadWorkload(), opts...)
+				states += r.UniqueStates
+			}
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
+		})
+	}
+}
+
+// TestTelemetryOverheadGate fails when an enabled registry costs more
+// than 5% states/sec against the disabled fast path, best-of-N against
+// best-of-N to damp scheduler noise. Gated behind NICE_TELEMETRY_GATE=1
+// because wall-clock ratios are meaningless on oversubscribed laptops;
+// CI sets the variable on a dedicated job.
+func TestTelemetryOverheadGate(t *testing.T) {
+	if os.Getenv("NICE_TELEMETRY_GATE") != "1" {
+		t.Skip("set NICE_TELEMETRY_GATE=1 to run the overhead gate")
+	}
+	const iters = 5
+	best := func(enabled bool) float64 {
+		var b float64
+		for i := 0; i < iters; i++ {
+			var reg *nice.Telemetry
+			if enabled {
+				reg = nice.NewTelemetry()
+			}
+			if rate := runOnce(reg); rate > b {
+				b = rate
+			}
+		}
+		return b
+	}
+	runOnce(nil) // warm the scheduler and allocator before timing
+	disabled := best(false)
+	enabled := best(true)
+	if disabled <= 0 || enabled <= 0 {
+		t.Fatalf("degenerate rates: disabled %.0f, enabled %.0f", disabled, enabled)
+	}
+	ratio := enabled / disabled
+	t.Logf("states/sec: disabled %.0f, enabled %.0f (ratio %.3f)", disabled, enabled, ratio)
+	if ratio < 0.95 {
+		t.Errorf("enabled telemetry costs %.1f%% states/sec, budget is 5%%",
+			(1-ratio)*100)
+	}
+}
