@@ -1,26 +1,3 @@
-// Package energyte reproduces the energy-efficient traffic-engineering
-// application of §8.3 — a REsPoNse-style controller (Vasić et al.,
-// CoNEXT 2011) with two precomputed routing tables: an always-on path
-// that carries all traffic under low demand and an on-demand path that
-// absorbs additional traffic under high demand. The controller samples
-// port statistics to estimate load; under high load new flows should
-// split evenly over the two paths.
-//
-// On the Triangle preset topology the always-on path is s1→s2 and the
-// on-demand path is s1→s3→s2. The published code had four defects,
-// reproduced behind staged fix levels:
-//
-//	BUG-VIII the first packet of a new flow is never released at the
-//	         ingress switch (NoForgottenPackets)
-//	BUG-IX   a packet outruns the rule being installed at the second
-//	         switch on its path; the handler implicitly ignores the
-//	         resulting packet_in (NoForgottenPackets)
-//	BUG-X    the routing table is chosen globally in the statistics
-//	         handler, so under high load every new flow takes the
-//	         on-demand path (UseCorrectRoutingTable)
-//	BUG-XI   when load falls, on-demand rules are torn down; a packet
-//	         in flight reaches an off-path switch whose packet_in the
-//	         handler ignores (NoForgottenPackets)
 package energyte
 
 import (

@@ -1,23 +1,3 @@
-// Package loadbalancer reproduces the web-server load-balancer
-// application of §8.2 — a wildcard-rule load balancer in the style of
-// "OpenFlow-Based Server Load Balancing Gone Wild" (Wang et al.,
-// Hot-ICE 2011): client traffic to a virtual IP is divided over server
-// replicas by wildcard rules on the client IP space; policy changes
-// install controller-inspection rules so ongoing transfers finish at
-// their old replica while new connections follow the new policy.
-//
-// The published code had four defects, reproduced here behind staged fix
-// levels (each paper bug was found after fixing the previous one):
-//
-//	BUG-IV  the packet triggering packet_in is never released
-//	        (NoForgottenPackets)
-//	BUG-V   reconfiguration removes the old wildcard rules before
-//	        installing the inspection rules; packets in the gap arrive
-//	        as NO_MATCH and are ignored (NoForgottenPackets)
-//	BUG-VI  proxied ARP requests are answered but never discarded from
-//	        the switch buffer (NoForgottenPackets)
-//	BUG-VII a duplicate SYN during a policy transition sends part of a
-//	        connection to each replica (FlowAffinity)
 package loadbalancer
 
 import (
@@ -146,6 +126,13 @@ func (a *App) Clone() controller.App {
 	}
 	c.borrowed = false
 	return &c
+}
+
+// EmitsTo implements controller.EmissionScope: every handler emission
+// targets the single load-balancer switch a.sw, regardless of which
+// switch's message is being handled.
+func (a *App) EmitsTo(openflow.SwitchID) ([]openflow.SwitchID, bool) {
+	return []openflow.SwitchID{a.sw}, true
 }
 
 // Fork implements controller.ForkableApp: an O(1) copy borrowing the

@@ -1,0 +1,13 @@
+// Package pyswitch is the MAC-learning switch application of the paper's
+// Figure 3 — a faithful port of the NOX pyswitch pseudo-code. The
+// default (buggy) variant reproduces the three published defects:
+//
+//	BUG-I   host unreachable after moving (NoBlackHoles)
+//	BUG-II  delayed direct path (StrictDirectPaths)
+//	BUG-III excess flooding on cyclic topologies (NoForwardingLoops)
+//
+// The Fixed variant applies the paper's remedies: hard timeouts on
+// learned rules (I), ordered installation of both directions' rules
+// before releasing the triggering packet (II), and spanning-tree
+// flooding (III).
+package pyswitch

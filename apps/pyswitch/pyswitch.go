@@ -1,15 +1,3 @@
-// Package pyswitch is the MAC-learning switch application of the paper's
-// Figure 3 — a faithful port of the NOX pyswitch pseudo-code. The
-// default (buggy) variant reproduces the three published defects:
-//
-//	BUG-I   host unreachable after moving (NoBlackHoles)
-//	BUG-II  delayed direct path (StrictDirectPaths)
-//	BUG-III excess flooding on cyclic topologies (NoForwardingLoops)
-//
-// The Fixed variant applies the paper's remedies: hard timeouts on
-// learned rules (I), ordered installation of both directions' rules
-// before releasing the triggering packet (II), and spanning-tree
-// flooding (III).
 package pyswitch
 
 import (
@@ -93,6 +81,19 @@ func (a *App) Clone() controller.App {
 	}
 	return c
 }
+
+// EmitsTo implements controller.EmissionScope: every handler emission
+// (InstallRule, PacketOut, FloodPacket) targets the switch whose
+// message is being handled — the MAC learner never programs a switch it
+// did not hear from.
+func (a *App) EmitsTo(sw openflow.SwitchID) ([]openflow.SwitchID, bool) {
+	return []openflow.SwitchID{sw}, true
+}
+
+// PartitionedBySwitch implements controller.StatePartition: the MAC
+// tables are keyed by switch, and every handler for a message from
+// switch sw reads and writes mactable[sw] alone.
+func (a *App) PartitionedBySwitch() bool { return true }
 
 // Fork implements controller.ForkableApp: an O(1) copy borrowing the
 // MAC tables; ensureOwned deep-copies them before the first learning

@@ -74,6 +74,11 @@ func main() {
 			"validate a telemetry snapshot from `nice -metrics-out` and embed it in the suite JSON")
 		metricsOnly = flag.Bool("metrics-only", false,
 			"skip the bench suite: just validate -metrics (and round-trip it into -out)")
+		dpor       = flag.Bool("dpor", false, "run the DPOR reduction comparison suite")
+		minDporRed = flag.Float64("min-dpor-reduction", 0,
+			"fail unless enough gated DPOR workloads keep violation parity and cut unique states by this fraction (implies -dpor; 0 = off)")
+		minDporCount = flag.Int("min-dpor-scenarios", 5,
+			"how many gated DPOR workloads must clear -min-dpor-reduction")
 	)
 	flag.Parse()
 
@@ -109,6 +114,22 @@ func main() {
 		PR: *pr, Iters: *iters, Workers: *workers, SkipTable2: *skipTable2,
 	})
 	suite.Telemetry = snap
+	if *dpor || *minDporRed > 0 {
+		suite.Dpor = bench.RunDpor()
+		for _, r := range suite.Dpor {
+			gate := " "
+			if r.Gate {
+				gate = "*"
+			}
+			parity := "parity ok"
+			if !r.ParityOK {
+				parity = "PARITY BROKEN"
+			}
+			fmt.Printf("%s %-28s %8d -> %8d states (-%4.1f%%) %9d -> %9d trans  %s\n",
+				gate, r.Name, r.FullStates, r.ReducedStates, r.Reduction*100,
+				r.FullTransitions, r.ReducedTransitions, parity)
+		}
+	}
 
 	for _, r := range suite.Results {
 		gate := " "
@@ -146,6 +167,22 @@ func main() {
 		}
 		fmt.Printf("hash speedup gate passed: %.2fx >= %.2fx (within-run ratio, machine-independent)\n",
 			ratio, *minSpeedup)
+	}
+
+	if *minDporRed > 0 {
+		passed, failures := bench.DporGate(suite.Dpor, *minDporRed)
+		if passed < *minDporCount {
+			fmt.Fprintf(os.Stderr,
+				"nice-bench: only %d/%d gated DPOR workloads kept parity and cut states by >=%.0f%%:\n",
+				passed, *minDporCount, *minDporRed*100)
+			for _, r := range failures {
+				fmt.Fprintf(os.Stderr, "   %s: reduction %.1f%%, parity %v\n",
+					r.Name, r.Reduction*100, r.ParityOK)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("dpor gate passed: %d workload(s) with >=%.0f%% fewer states, violation sets identical\n",
+			passed, *minDporRed*100)
 	}
 
 	if *baseline != "" {

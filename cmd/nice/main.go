@@ -8,6 +8,7 @@
 //	nice -scenario bug-vii -strategy flow-ir
 //	nice -scenario pingpong -pings 3      # exhaustive search, no properties
 //	nice -scenario pingpong -pings 3 -workers 8   # parallel search
+//	nice -scenario pingpong -pings 3 -reduction dpor   # partial-order reduction
 //	nice -scenario bug-ix -mode walk -walks 100 -steps 50 -seed 7
 //	nice -scenario pingpong -pings 4 -timeout 2s -progress 500ms
 //	nice -scenario pingpong -pings 4 -max-states 5000
@@ -242,6 +243,7 @@ func runOne() {
 		sends     = flag.Int("sends", 0, "scale for the bench scenarios (0 = scenario default)")
 		scale     = flag.Int("scale", 0, "scale for any scenario's knob (see -list; 0 = scenario default)")
 		mode      = flag.String("mode", "check", "check (full search) or walk (random walks)")
+		reduction = flag.String("reduction", "none", "interleaving reduction: none or dpor (exhaustive engines only)")
 		seed      = flag.Int64("seed", 1, "random-walk seed")
 		walks     = flag.Int("walks", 50, "number of random walks")
 		steps     = flag.Int("steps", 100, "max transitions per walk")
@@ -292,6 +294,14 @@ func runOne() {
 		opts = append(opts, nice.WithWalks(*seed, *walks, *steps))
 	default:
 		fmt.Fprintf(os.Stderr, "nice: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*reduction) {
+	case "", "none":
+	case "dpor":
+		opts = append(opts, nice.WithReduction(nice.DPOR))
+	default:
+		fmt.Fprintf(os.Stderr, "nice: unknown reduction %q (none or dpor)\n", *reduction)
 		os.Exit(2)
 	}
 	if *maxTrans > 0 {

@@ -1,9 +1,3 @@
-// Package controller implements the NOX-like controller runtime of the
-// modelled system (§2.2.1): applications are sets of event handlers that
-// execute atomically, interact with switches through a standard actuator
-// API, and keep arbitrary state. The same handler code runs concretely
-// during model-checking transitions and concolically inside
-// discover_packets / discover_stats.
 package controller
 
 import (
@@ -59,6 +53,38 @@ type App interface {
 
 	Clone() App
 	StateKey() string
+}
+
+// EmissionScope is an optional App refinement used by partial-order
+// reduction: it bounds which switches a handler invocation may emit
+// messages to (flow mods, packet-outs, stats/barrier requests), as a
+// function of the switch whose message is being handled. EmitsTo must
+// over-approximate every emission of every handler (PacketIn,
+// StatsReply, BarrierReply, SwitchJoin/Leave, PortStatus) for messages
+// from sw, in every reachable application state. Return ok=false to
+// make no claim for that switch (the reduction then assumes the
+// handler may emit anywhere). Applications that do not implement the
+// interface are treated as unconstrained; a too-narrow claim makes the
+// reduction unsound, so only implement it when the bound is a simple
+// structural fact of the handler code.
+type EmissionScope interface {
+	EmitsTo(sw openflow.SwitchID) (targets []openflow.SwitchID, ok bool)
+}
+
+// StatePartition is an optional App refinement used by partial-order
+// reduction: it claims the application's mutable state decomposes into
+// per-switch partitions, such that every handler invocation for a
+// switch-originated message (PacketIn, StatsReply, BarrierReply,
+// SwitchJoin/Leave, PortStatus from switch sw) reads and writes
+// partition sw alone. Handlers for host or environment events may
+// still touch every partition — the reduction treats those as
+// whole-state accesses. Under the claim, controller work for different
+// switches commutes on application state, so dispatch transitions for
+// different switches become independent. A false claim makes the
+// reduction unsound; only implement it when per-switch isolation is a
+// structural fact of the state layout (e.g. a table keyed by switch).
+type StatePartition interface {
+	PartitionedBySwitch() bool
 }
 
 // ForkableApp is the copy-on-write forking contract for applications
@@ -419,6 +445,14 @@ func (r *Runtime) DeliverToController(m openflow.Msg) {
 	r.inKeyValid = false
 	r.inQ[m.Switch] = append(r.inQ[m.Switch], m.MemoKey())
 }
+
+// InLen reports the inbound (switch→controller) queue length for a
+// switch. The reduction layer uses it to tell head from tail accesses.
+func (r *Runtime) InLen(sw openflow.SwitchID) int { return len(r.inQ[sw]) }
+
+// OutLen reports the outbound (controller→switch) queue length for a
+// switch.
+func (r *Runtime) OutLen(sw openflow.SwitchID) int { return len(r.outQ[sw]) }
 
 // PendingIn returns the switches with queued inbound messages, sorted.
 func (r *Runtime) PendingIn() []openflow.SwitchID { return sortedKeys(r.inQ) }

@@ -1,0 +1,7 @@
+// Package controller implements the NOX-like controller runtime of the
+// modelled system (§2.2.1): applications are sets of event handlers that
+// execute atomically, interact with switches through a standard actuator
+// API, and keep arbitrary state. The same handler code runs concretely
+// during model-checking transitions and concolically inside
+// discover_packets / discover_stats.
+package controller

@@ -1,7 +1,3 @@
-// Package hosts provides NICE's end-host models (§2.2.3): simple client
-// and server programs with explicit transitions and little state, plus
-// the mobile-host refinement with a move transition. Hosts are plain
-// state records; the model checker owns their transitions.
 package hosts
 
 import (

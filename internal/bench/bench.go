@@ -69,6 +69,10 @@ type Suite struct {
 	// artifact carries both the perf numbers and the engine's metric
 	// series.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Dpor holds the DPOR reduction comparison results (nice-bench
+	// -dpor), so the same JSON artifact records the states-explored
+	// savings CI gates on.
+	Dpor []DporResult `json:"dpor,omitempty"`
 }
 
 // Options tunes a harness run.

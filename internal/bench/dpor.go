@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"context"
+	"sort"
+
+	"github.com/nice-go/nice/apps/pyswitch"
+	"github.com/nice-go/nice/controller"
+	"github.com/nice-go/nice/hosts"
+	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice/props"
+	"github.com/nice-go/nice/scenarios"
+	"github.com/nice-go/nice/topo"
+)
+
+// The DPOR comparison suite: each workload is searched twice with warm
+// shared caches — unreduced, then under ReductionDPOR — and the
+// states-explored ratio is recorded. Reduction comes from flow
+// disjointness, so the gated workloads are multi-switch pyswitch
+// topologies where concurrent flows traverse disjoint switch state;
+// the load-balancer workload is recorded ungated as the documented
+// counterpoint — a single switch funnels every packet_in through one
+// controller queue, whose orderings are genuinely dependent, so
+// there is nothing sound to reduce.
+
+// DporWorkload is one reduction benchmark.
+type DporWorkload struct {
+	Name string
+	// Gate marks workloads the CI reduction gate counts.
+	Gate  bool
+	Build func() *core.Config
+}
+
+// dporPyswitch builds a pyswitch workload over a linear topology of
+// nsw switches with one host each, every host holding a single-ping
+// budget toward a pattern-selected partner:
+//
+//   - "pairs": adjacent hosts exchange pings (disjoint pairs);
+//   - "oneway": even hosts ping their odd partner, odd hosts idle —
+//     maximal flow disjointness;
+//   - "far": host i pings host i+n/2 — long disjoint paths.
+//
+// micro switches the checker to per-port switch transitions
+// (Config.MicroSteps), whose finer footprints expose more independence.
+func dporPyswitch(nsw int, pattern string, micro bool) *core.Config {
+	t, _ := topo.LinearHosts(nsw, 1)
+	all := t.Hosts()
+	var hh []*hosts.Host
+	for i, self := range all {
+		budget := 1
+		var to *topo.Host
+		switch pattern {
+		case "pairs":
+			j := i ^ 1
+			if j >= len(all) {
+				j = i - 1
+			}
+			to = all[j]
+		case "oneway":
+			j := i ^ 1
+			if j >= len(all) {
+				j = i - 1
+			}
+			to = all[j]
+			if i%2 == 1 {
+				budget = 0
+			}
+		default: // far
+			to = all[(i+len(all)/2)%len(all)]
+		}
+		seed := scenarios.PingBetween(self, to)
+		h := hosts.NewClient(self, budget, 0, seed)
+		h.Repertoire = append(h.Repertoire[:0], seed)
+		hh = append(hh, h)
+	}
+	var app controller.App = pyswitch.New(pyswitch.Fixed, t)
+	return &core.Config{
+		Topo:       t,
+		App:        app,
+		Hosts:      hh,
+		Properties: []core.Property{props.NewNoForgottenPackets()},
+		DisableSE:  true,
+		MicroSteps: micro,
+	}
+}
+
+// DporWorkloads is the comparison suite. The five gated workloads each
+// clear the ≥30% states-explored reduction CI enforces; the
+// load-balancer rider documents the single-switch serialization floor.
+func DporWorkloads() []DporWorkload {
+	return []DporWorkload{
+		{Name: "dpor/linear4-oneway", Gate: true,
+			Build: func() *core.Config { return dporPyswitch(4, "oneway", false) }},
+		{Name: "dpor/linear3-pairs", Gate: true,
+			Build: func() *core.Config { return dporPyswitch(3, "pairs", false) }},
+		{Name: "dpor/linear3-pairs-micro", Gate: true,
+			Build: func() *core.Config { return dporPyswitch(3, "pairs", true) }},
+		{Name: "dpor/linear6-oneway", Gate: true,
+			Build: func() *core.Config { return dporPyswitch(6, "oneway", false) }},
+		{Name: "dpor/linear4-pairs", Gate: true,
+			Build: func() *core.Config { return dporPyswitch(4, "pairs", false) }},
+		{Name: "dpor/loadbalancer", Gate: false,
+			Build: func() *core.Config { return loadBalancerBench(2) }},
+	}
+}
+
+// DporResult is one DPOR comparison measurement.
+type DporResult struct {
+	Name string `json:"name"`
+	// Gate marks results the reduction gate counts.
+	Gate               bool  `json:"gate"`
+	FullStates         int64 `json:"full_states"`
+	ReducedStates      int64 `json:"reduced_states"`
+	FullTransitions    int64 `json:"full_transitions"`
+	ReducedTransitions int64 `json:"reduced_transitions"`
+	// Reduction is the fraction of unique states DPOR avoided
+	// (1 - reduced/full).
+	Reduction float64 `json:"reduction"`
+	// ParityOK reports whether both searches violated the same
+	// property set — the soundness oracle the gate also requires.
+	ParityOK bool `json:"parity_ok"`
+}
+
+// RunDpor measures the whole DPOR comparison suite on the sequential
+// checker (the engine with the full sleep-set + backtrack-set
+// reduction).
+func RunDpor() []DporResult {
+	var out []DporResult
+	for _, w := range DporWorkloads() {
+		out = append(out, runDporOne(w))
+	}
+	return out
+}
+
+func runDporOne(w DporWorkload) DporResult {
+	cc := core.NewCaches()
+	core.NewCheckerWith(w.Build(), cc).Run() // warm the discover caches
+	full := core.NewCheckerWith(w.Build(), cc).Run()
+	red := core.NewCheckerWith(w.Build(), cc).RunContext(context.Background(),
+		core.EngineOptions{Reduction: core.ReductionDPOR})
+
+	res := DporResult{
+		Name: w.Name, Gate: w.Gate,
+		FullStates: full.UniqueStates, ReducedStates: red.UniqueStates,
+		FullTransitions: full.Transitions, ReducedTransitions: red.Transitions,
+		ParityOK: sameViolations(full, red),
+	}
+	if full.UniqueStates > 0 {
+		res.Reduction = 1 - float64(red.UniqueStates)/float64(full.UniqueStates)
+	}
+	return res
+}
+
+// sameViolations compares the violated (property, error) sets of two
+// reports — the reduction soundness oracle.
+func sameViolations(a, b *core.Report) bool {
+	set := func(r *core.Report) []string {
+		seen := map[string]bool{}
+		for _, v := range r.Violations {
+			seen[v.Property+": "+v.Err.Error()] = true
+		}
+		keys := make([]string, 0, len(seen))
+		for k := range seen {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	as, bs := set(a), set(b)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DporGate counts the gated workloads that both kept violation parity
+// and cleared the reduction threshold, returning the failures.
+func DporGate(results []DporResult, minReduction float64) (passed int, failures []DporResult) {
+	for _, r := range results {
+		if !r.Gate {
+			continue
+		}
+		if r.ParityOK && r.Reduction >= minReduction {
+			passed++
+		} else {
+			failures = append(failures, r)
+		}
+	}
+	return passed, failures
+}

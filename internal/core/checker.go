@@ -107,6 +107,17 @@ type Checker struct {
 	// prefix per explored transition was nearly half of all bytes the
 	// search allocated.
 	trace []Transition
+
+	// Reduction-layer state (dpor.go, dpor_dfs.go), populated only when
+	// EngineOptions.Reduction selects DPOR; the vanilla dfs() hot path
+	// never touches it.
+	space        *componentSpace
+	dporExplored map[canon.Digest]*dporNode
+	dporTel      *DporTelemetry
+	dporFrames   []dporFrame
+	frameTop     int
+	hostSwBuf    []int
+	hbScratch    idxSet
 }
 
 // NewChecker prepares a search.
@@ -155,7 +166,11 @@ func (c *Checker) RunContext(ctx context.Context, opts EngineOptions) *Report {
 	root := newSystem(c.cfg, c.caches)
 	root.SetTelemetry(NewSystemTelemetry(opts.Telemetry))
 	c.tel.SearchStart()
-	c.dfs(root)
+	if opts.Reduction == ReductionDPOR {
+		c.dporRun(root)
+	} else {
+		c.dfs(root)
+	}
 
 	c.report.SERuns = c.caches.SERuns()
 	c.report.Elapsed = time.Since(c.start)

@@ -148,6 +148,12 @@ type EngineOptions struct {
 	// histograms and trace events. Nil — the default — disables every
 	// instrumentation site behind a single nil check.
 	Telemetry *telemetry.Registry
+	// Reduction selects an interleaving-reduction layer (dpor.go).
+	// ReductionNone — the default — explores every enabled transition.
+	// ReductionDPOR enables sleep-set/persistent-set pruning in the
+	// systematic engines; walk engines ignore it (a random walk explores
+	// one interleaving, there is nothing to prune).
+	Reduction Reduction
 }
 
 // ProgressInterval is the effective snapshot interval.

@@ -17,6 +17,13 @@ import (
 type item struct {
 	sys  *core.System
 	path *pathNode
+	// sleep is the DPOR sleep set the state was reached under (nil
+	// unless the search runs with EngineOptions.Reduction). wake, when
+	// non-nil, marks a re-expansion: only transitions with these
+	// identity keys are executed — everything else was covered by this
+	// state's previous expansion under a larger sleep set.
+	sleep []core.SleepEntry
+	wake  []uint64
 }
 
 // pathNode is one link of the reversed reach-path chain.

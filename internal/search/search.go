@@ -301,6 +301,11 @@ type hybridState struct {
 	obs       core.Observer
 	tel       *core.SearchTelemetry
 	heap      core.HeapPeak // sampled only from the snapshot goroutine
+
+	// red is non-nil when the search runs with sleep-set reduction
+	// (EngineOptions.Reduction); dporTel feeds the shared dpor scope.
+	red     *core.SleepReducer
+	dporTel *core.DporTelemetry
 }
 
 func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Report {
@@ -320,6 +325,10 @@ func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Rep
 
 	root := core.NewSystemWith(e.cfg, e.caches)
 	root.SetTelemetry(core.NewSystemTelemetry(eo.Telemetry))
+	if eo.Reduction == core.ReductionDPOR {
+		st.red = core.NewSleepReducer(root)
+		st.dporTel = core.NewDporTelemetry(eo.Telemetry)
+	}
 	st.seen.Add(root.Fingerprint())
 	st.unique.Add(1)
 	st.frontier.push(0, item{sys: root})
@@ -336,12 +345,13 @@ func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Rep
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var sc core.SleepScratch
 			for {
 				it, ok := st.frontier.get(w)
 				if !ok {
 					return
 				}
-				e.expand(w, it, st)
+				e.expand(w, it, st, &sc)
 				// The item is fully expanded: recycle its System's
 				// struct and slice backings (components live on in
 				// the pushed children that borrowed them).
@@ -403,7 +413,16 @@ func (e *Engine) snapshot(st *hybridState, start time.Time) core.Progress {
 // transitions are recorded and their subtrees pruned, exactly as the
 // paper's checker "saves the error and trace and does not explore past
 // a violating state".
-func (e *Engine) expand(w int, it item, st *hybridState) {
+//
+// Under sleep-set reduction (st.red non-nil) the loop additionally
+// skips transitions the item's sleep set covers, hands each child the
+// sleep set it is owed (incoming entries plus executed siblings,
+// filtered by independence), and routes revisits through the seen-set's
+// sleep signatures: a revisit under a smaller sleep set re-expands
+// exactly the keys that slipped awake. Sleep sets prune transition
+// executions only, never states, so UniqueStates matches the unreduced
+// search.
+func (e *Engine) expand(w int, it item, st *hybridState, sc *core.SleepScratch) {
 	if st.ctl.stop.Load() {
 		return
 	}
@@ -422,6 +441,11 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 		return
 	}
 
+	var executed []int
+	if st.red != nil {
+		st.red.Prepare(it.sys, enabled, sc)
+	}
+
 	// The per-transition event batch lives only until the property
 	// checks below, so one pooled buffer serves the whole expansion —
 	// the hot-loop allocation COW forking exposes as the next
@@ -431,9 +455,20 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 	// grown backing is the one worth pooling.
 	defer func() { putEventBuf(events) }()
 
-	for _, t := range enabled {
+	for i, t := range enabled {
 		if st.ctl.stop.Load() {
 			return
+		}
+		if st.red != nil {
+			if it.wake != nil && !keyIn64(it.wake, sc.Key(i)) {
+				// Covered by this state's previous, larger expansion.
+				st.dporTel.Pruned(1)
+				continue
+			}
+			if sc.Asleep(it.sleep, i) {
+				st.dporTel.SleepHit()
+				continue
+			}
 		}
 		// Reserve the budget slot before applying, so the bound is
 		// exact even when workers race on the last transitions.
@@ -451,8 +486,41 @@ func (e *Engine) expand(w int, it item, st *hybridState) {
 				Trace: it.path.traceWith(t)}, st)
 			violated = true
 		}
+		var childSleep []core.SleepEntry
+		if st.red != nil {
+			if !violated {
+				childSleep = sc.ChildSleep(it.sleep, executed, i)
+			}
+			// Executed siblings join the sleep-source even when they
+			// violated: their interleavings are covered either way.
+			executed = append(executed, i)
+		}
 		if violated {
 			child.Release()
+			continue
+		}
+		if st.red != nil {
+			isNew, wake := st.seen.AddSleep(child.Fingerprint(), core.SleepKeySet(childSleep))
+			switch {
+			case isNew:
+				if n := st.unique.Add(1); st.maxStates > 0 && n >= st.maxStates {
+					st.ctl.abort(core.StopMaxStates)
+				}
+				st.tel.ObserveDepth(depth + 1)
+				if st.obs != nil || st.tel != nil {
+					maxInt64(&st.maxDepth, int64(depth+1))
+				}
+				st.frontier.push(w, item{sys: child, sleep: childSleep,
+					path: &pathNode{t: t, parent: it.path, depth: depth + 1}})
+			case wake != nil:
+				st.revisits.Add(1)
+				st.dporTel.Reexpansion()
+				st.frontier.push(w, item{sys: child, sleep: childSleep, wake: wake,
+					path: &pathNode{t: t, parent: it.path, depth: depth + 1}})
+			default:
+				st.revisits.Add(1)
+				child.Release()
+			}
 			continue
 		}
 		if st.seen.Add(child.Fingerprint()) {

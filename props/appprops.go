@@ -112,6 +112,11 @@ func (p *FlowAffinity) AtQuiescence(*core.System) error { return nil }
 // matter.
 func (p *FlowAffinity) EventMask() uint64 { return core.MaskOf(core.EvDelivered) }
 
+// PacketIDOblivious implements core.PacketIDOblivious: connection
+// affinity is tracked by (client IP, client port) header fields; packet
+// IDs appear in neither the observer state nor the error texts.
+func (p *FlowAffinity) PacketIDOblivious() bool { return true }
+
 // StateKey implements core.Property (memoized; see keys.go).
 func (p *FlowAffinity) StateKey() string { return p.cache.get(p.renderStateKey) }
 
@@ -317,6 +322,11 @@ func (p *UseCorrectRoutingTable) AtQuiescence(*core.System) error { return nil }
 func (p *UseCorrectRoutingTable) EventMask() uint64 {
 	return core.MaskOf(core.EvStats, core.EvCtrlDispatch, core.EvRuleInstalled)
 }
+
+// PacketIDOblivious implements core.PacketIDOblivious: the property
+// tracks load levels and installed flow→port choices; packet IDs appear
+// in neither the observer state nor the error texts.
+func (p *UseCorrectRoutingTable) PacketIDOblivious() bool { return true }
 
 // ForkProp implements core.ForkableProperty: an O(1) copy borrowing the
 // expectation map until the fork's first write (the scalar load/index

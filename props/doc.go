@@ -1,0 +1,8 @@
+// Package props is NICE's library of correctness properties (§5.2):
+// NoForwardingLoops, NoBlackHoles, DirectPaths, StrictDirectPaths and
+// NoForgottenPackets, plus the application-specific FlowAffinity (§8.2)
+// and UseCorrectRoutingTable (§8.3). Properties observe transition
+// events, keep local state (cloned as the search forks), and may inspect
+// the global system state; definitions are written to be robust to
+// controller↔switch delays, testing only at "safe" times (§5.2).
+package props

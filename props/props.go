@@ -1,10 +1,3 @@
-// Package props is NICE's library of correctness properties (§5.2):
-// NoForwardingLoops, NoBlackHoles, DirectPaths, StrictDirectPaths and
-// NoForgottenPackets, plus the application-specific FlowAffinity (§8.2)
-// and UseCorrectRoutingTable (§8.3). Properties observe transition
-// events, keep local state (cloned as the search forks), and may inspect
-// the global system state; definitions are written to be robust to
-// controller↔switch delays, testing only at "safe" times (§5.2).
 package props
 
 import (
@@ -308,6 +301,11 @@ func (p *NoForgottenPackets) OnEvents(*core.System, []core.Event) error { return
 // EventMask implements core.EventMasker: the property is stateless and
 // judges only quiescent states, so it observes no events at all.
 func (p *NoForgottenPackets) EventMask() uint64 { return 0 }
+
+// PacketIDOblivious implements core.PacketIDOblivious: the property
+// judges leftover packets by header content and location only, so its
+// verdicts and error texts are invariant under packet-ID renaming.
+func (p *NoForgottenPackets) PacketIDOblivious() bool { return true }
 
 // AtQuiescence implements core.Property.
 func (p *NoForgottenPackets) AtQuiescence(sys *core.System) error {

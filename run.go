@@ -29,6 +29,22 @@ type (
 	// Caches is the shared discover-cache set (symbolic-execution
 	// results); share one across Runs to start warm.
 	Caches = core.Caches
+	// Reduction selects an interleaving-reduction layer for the search
+	// (see WithReduction).
+	Reduction = core.Reduction
+)
+
+// Reduction layers for WithReduction.
+const (
+	// NoReduction explores every enabled transition at every state —
+	// the paper's semantics, and the default.
+	NoReduction = core.ReductionNone
+	// DPOR enables dynamic partial-order reduction over the transition
+	// dependence relation: sleep sets plus Flanagan–Godefroid backtrack
+	// sets in the sequential checker, sleep sets in the parallel hybrid
+	// engine. Sound for the violated-property set; prunes states and
+	// transitions the explored interleavings already cover.
+	DPOR = core.ReductionDPOR
 )
 
 // Stop reasons recorded in Report.StopReason.
@@ -141,6 +157,19 @@ func WithProgressEvery(d time.Duration) RunOption {
 // setting).
 func WithCaches(cc *Caches) RunOption {
 	return func(s *runSettings) { s.eo.Caches = cc }
+}
+
+// WithReduction selects an interleaving-reduction layer, composable
+// with every other option (budgets, observers, caches, telemetry).
+// WithReduction(DPOR) prunes interleavings of provably independent
+// transitions — packets on disjoint switches, commuting controller
+// events — on top of the paper's heuristic strategies, which stay
+// available unchanged (they live inside the Config). Reduction applies
+// to the exhaustive engines (SequentialDFS, ParallelHybrid); the
+// random-walk engines sample single interleavings, where there is
+// nothing to reduce, and ignore it. Off by default.
+func WithReduction(r Reduction) RunOption {
+	return func(s *runSettings) { s.eo.Reduction = r }
 }
 
 // WithTelemetry attaches a metrics registry to the search: the engine

@@ -1,16 +1,3 @@
-// Package topo describes the modelled network: switches with ports, end
-// hosts with addresses and (possibly several) attachment points, and
-// links. A Topology is the static input NICE takes alongside the
-// controller program and the correctness properties (§1.3); dynamic state
-// (host locations after moves, link health) lives in the model checker's
-// system state.
-//
-// Topologies come from three construction surfaces, smallest to
-// largest: the paper's preset shapes (presets.go — Linear,
-// SingleSwitch, Cycle, LoadBalancer, Triangle), the fluent
-// error-accumulating Builder (builder.go) for custom wiring, and the
-// parameterized generators (generators.go — Star, Mesh, FatTree,
-// LinearHosts) for scalable scenario families.
 package topo
 
 import (
