@@ -90,13 +90,19 @@ type Campaign struct {
 	ShareCaches bool
 
 	// CachePrune bounds each shared discover-cache set when ShareCaches
-	// is on and jobs run one at a time (Parallelism <= 1): after a job
-	// finishes, a set grown past CachePrune entries is emptied, counted
-	// and traced as cache evictions. Pruning between searches is safe —
-	// cache presence feeds state identity only within one search — but
-	// concurrent jobs may be mid-search, so the bound is ignored when
-	// Parallelism > 1.
+	// is on: after a job finishes, a set grown past CachePrune entries
+	// is emptied, counted and traced as cache evictions. Pruning is safe
+	// at any time, including while concurrent jobs are mid-search —
+	// eviction costs a running search re-discovery work, never soundness
+	// (see Caches) — so the bound applies at every Parallelism.
 	CachePrune int
+
+	// OnJobStart / OnJobDone, when non-nil, observe the job lifecycle:
+	// OnJobStart fires as a worker picks up Jobs[i], OnJobDone after its
+	// result is final. Both may be called concurrently from different
+	// workers (Parallelism > 1) and must be safe for concurrent use.
+	OnJobStart func(i int, job CampaignJob)
+	OnJobDone  func(i int, res CampaignResult)
 
 	// Telemetry, when non-nil, receives campaign-level aggregation under
 	// the "campaign" scope: job and outcome counters, cumulative state
@@ -138,9 +144,14 @@ const (
 	// OutcomeUnexpected: a violation was found where none (or a
 	// documented miss) was expected.
 	OutcomeUnexpected = "unexpected-violation"
-	// OutcomePartial: a budget, deadline or cancellation cut the
-	// search short before it could decide.
+	// OutcomePartial: a per-job budget, deadline or cancellation cut
+	// the search short before it could decide.
 	OutcomePartial = "partial"
+	// OutcomeStarved: the campaign-wide TotalMaxStates /
+	// TotalMaxTransitions drawdown ran out before or during this job —
+	// the job is undecided because earlier jobs consumed the shared
+	// budget, not because of its own limits or a real violation.
+	OutcomeStarved = "budget-starved"
 	// OutcomeError: the job could not run (unknown scenario, no
 	// repaired variant, unknown strategy).
 	OutcomeError = "error"
@@ -199,7 +210,7 @@ type CampaignResult struct {
 // are inconclusive, not failures).
 func (r *CampaignResult) ok() bool {
 	switch r.Outcome {
-	case OutcomeFound, OutcomeClean, OutcomeMissedExpected, OutcomePartial:
+	case OutcomeFound, OutcomeClean, OutcomeMissedExpected, OutcomePartial, OutcomeStarved:
 		return true
 	}
 	return false
@@ -216,12 +227,34 @@ type CampaignReport struct {
 	Violations   int           `json:"violations"`
 	Unexpected   int           `json:"unexpected"`
 	Partial      int           `json:"partial"`
+	Starved      int           `json:"starved,omitempty"`
 	Elapsed      time.Duration `json:"elapsed_ns"`
 }
 
 // OK reports whether every job's outcome matched its expectation
-// (inconclusive partial results count as OK; see Partial).
+// (inconclusive partial and budget-starved results count as OK; see
+// Partial and Starved).
 func (r *CampaignReport) OK() bool { return r.Unexpected == 0 }
+
+// ExitCode maps the merged report onto the `nice run-all` process exit
+// contract, so scripts can tell a campaign that ran out of shared
+// budget from one that found a real problem: 0 = every outcome as
+// expected; 1 = an unexpected outcome (missed bug, unexpected
+// violation, job error); 4 = expectations met so far but the
+// campaign-wide budget drawdown starved at least one job; 3 =
+// expectations met so far but some searches were cut short by per-job
+// budgets or deadlines (inconclusive).
+func (r *CampaignReport) ExitCode() int {
+	switch {
+	case !r.OK():
+		return 1
+	case r.Starved > 0:
+		return 4
+	case r.Partial > 0:
+		return 3
+	}
+	return 0
+}
 
 // WriteJSON writes the merged report as indented JSON.
 func (r *CampaignReport) WriteJSON(w io.Writer) error {
@@ -252,7 +285,7 @@ func (r *CampaignReport) WriteText(w io.Writer) {
 			if len(res.Violated) > 1 {
 				detail += fmt.Sprintf(" (+%d more)", len(res.Violated)-1)
 			}
-		case res.Outcome == OutcomePartial:
+		case res.Outcome == OutcomePartial, res.Outcome == OutcomeStarved:
 			detail = "stopped: " + res.StopReason
 		}
 		fmt.Fprintf(w, "%-*s  %-20s %12d %12d %10.0f %10s %9s %4.0f%%  %s\n",
@@ -435,9 +468,15 @@ func (c *Campaign) Run(ctx context.Context, opts ...RunOption) *CampaignReport {
 					return
 				}
 				ct.jobStart(c.Jobs[i].label())
+				if c.OnJobStart != nil {
+					c.OnJobStart(i, c.Jobs[i])
+				}
 				res := c.runJob(ctx, c.Jobs[i], &statesLeft, &transLeft, jobCaches, opts)
 				ct.jobDone(&res, statesLeft.Load(), transLeft.Load())
 				report.Results[i] = res
+				if c.OnJobDone != nil {
+					c.OnJobDone(i, res)
+				}
 			}
 		}()
 	}
@@ -453,6 +492,9 @@ func (c *Campaign) Run(ctx context.Context, opts ...RunOption) *CampaignReport {
 		}
 		if res.Outcome == OutcomePartial {
 			report.Partial++
+		}
+		if res.Outcome == OutcomeStarved {
+			report.Starved++
 		}
 	}
 	report.Elapsed = time.Since(start)
@@ -508,29 +550,37 @@ func (c *Campaign) runJob(ctx context.Context, job CampaignJob, statesLeft, tran
 	}
 	cc := jobCaches(cacheJob)
 
+	// Shared-drawdown accounting. A job that finds the pool already
+	// exhausted never runs: it is budget-starved, a distinct outcome
+	// from partial (its own budgets) and from a real violation. A job
+	// whose binding state/transition limit came from the drawdown — not
+	// its own JobMaxStates — and that stops on that limit is starved
+	// too: it ran out of other jobs' leftovers, not its own allowance.
+	if (c.TotalMaxStates > 0 && statesLeft.Load() <= 0) ||
+		(c.TotalMaxTransitions > 0 && transLeft.Load() <= 0) {
+		res.Outcome = OutcomeStarved
+		res.StopReason = "drawdown"
+		return res
+	}
+
 	opts := []RunOption{WithWorkers(c.Workers)}
 	if c.JobTimeout > 0 {
 		opts = append(opts, WithDeadline(c.JobTimeout))
 	}
+	var drawdownStates, drawdownTrans bool
 	maxStates := c.JobMaxStates
 	if c.TotalMaxStates > 0 {
-		left := statesLeft.Load()
-		if left <= 0 {
-			left = 1 // budget exhausted: stop almost immediately, keep the partial marker honest
-		}
-		if maxStates == 0 || left < maxStates {
+		if left := statesLeft.Load(); maxStates == 0 || left < maxStates {
 			maxStates = left
+			drawdownStates = true
 		}
 	}
 	if maxStates > 0 {
 		opts = append(opts, WithMaxStates(maxStates))
 	}
 	if c.TotalMaxTransitions > 0 {
-		left := transLeft.Load()
-		if left <= 0 {
-			left = 1
-		}
-		opts = append(opts, WithMaxTransitions(left))
+		drawdownTrans = true
+		opts = append(opts, WithMaxTransitions(transLeft.Load()))
 	}
 	if cc != nil {
 		opts = append(opts, WithCaches(cc))
@@ -559,7 +609,7 @@ func (c *Campaign) runJob(ctx context.Context, job CampaignJob, statesLeft, tran
 	r := Run(ctx, cfg, opts...)
 	statesLeft.Add(-r.UniqueStates)
 	transLeft.Add(-r.Transitions)
-	if cc != nil && c.CachePrune > 0 && c.Parallelism <= 1 {
+	if cc != nil && c.CachePrune > 0 {
 		cc.Prune(c.CachePrune)
 	}
 
@@ -597,6 +647,12 @@ func (c *Campaign) runJob(ctx context.Context, job CampaignJob, statesLeft, tran
 	}
 
 	res.Outcome = classify(&res)
+	if res.Outcome == OutcomePartial {
+		if (drawdownStates && r.StopReason == StopMaxStates) ||
+			(drawdownTrans && r.StopReason == StopMaxTransitions) {
+			res.Outcome = OutcomeStarved
+		}
+	}
 	return res
 }
 

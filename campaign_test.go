@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"sync"
 	"testing"
 
 	"github.com/nice-go/nice"
@@ -91,22 +92,94 @@ func TestCampaignSharedStateBudget(t *testing.T) {
 	}
 	r := c.Run(context.Background())
 
-	if r.Partial != 3 {
-		t.Fatalf("Partial = %d, want 3 budget-cut jobs\n%+v", r.Partial, r.Results)
+	if r.Starved != 3 {
+		t.Fatalf("Starved = %d, want 3 drawdown-stopped jobs\n%+v", r.Starved, r.Results)
 	}
 	if !r.OK() {
 		t.Error("budget-cut campaign should still be OK (inconclusive, not wrong)")
 	}
+	if got := r.ExitCode(); got != 4 {
+		t.Errorf("ExitCode = %d, want 4 (drawdown starvation, not a violation)", got)
+	}
 	if r.Results[0].UniqueStates != 50 {
 		t.Errorf("first job explored %d states, want exactly the 50 budget", r.Results[0].UniqueStates)
 	}
-	// Everything after the first job runs on fumes (budget floor of 1).
+	if r.Results[0].Outcome != nice.OutcomeStarved {
+		t.Errorf("first job outcome %q, want budget-starved (its binding limit was the drawdown)", r.Results[0].Outcome)
+	}
+	// Everything after the first job finds the pool empty and never runs.
 	for _, res := range r.Results[1:] {
-		if res.UniqueStates > 2 {
-			t.Errorf("%s explored %d states after budget exhaustion", res.Label, res.UniqueStates)
+		if res.UniqueStates != 0 {
+			t.Errorf("%s explored %d states after budget exhaustion, want 0 (skipped)", res.Label, res.UniqueStates)
 		}
-		if res.Outcome != nice.OutcomePartial {
-			t.Errorf("%s outcome %q, want partial", res.Label, res.Outcome)
+		if res.Outcome != nice.OutcomeStarved {
+			t.Errorf("%s outcome %q, want budget-starved", res.Label, res.Outcome)
+		}
+		if res.StopReason != "drawdown" {
+			t.Errorf("%s stop reason %q, want drawdown", res.Label, res.StopReason)
+		}
+	}
+}
+
+// TestCampaignExitCodes: the report → process exit mapping scripts
+// rely on — a drawdown-starved campaign (4) is distinguishable from a
+// per-job budget cut (3), an unexpected outcome (1) and success (0).
+func TestCampaignExitCodes(t *testing.T) {
+	run := func(c *nice.Campaign) *nice.CampaignReport { return c.Run(context.Background()) }
+
+	if r := run(&nice.Campaign{Jobs: []nice.CampaignJob{{Scenario: "bug-ii"}}}); r.ExitCode() != 0 {
+		t.Errorf("found-expected campaign: ExitCode = %d, want 0", r.ExitCode())
+	}
+	if r := run(&nice.Campaign{Jobs: []nice.CampaignJob{{Scenario: "no-such"}}}); r.ExitCode() != 1 {
+		t.Errorf("erroring campaign: ExitCode = %d, want 1", r.ExitCode())
+	}
+	if r := run(&nice.Campaign{
+		Jobs:         []nice.CampaignJob{{Scenario: "pingpong", Scale: 2}},
+		Workers:      1,
+		JobMaxStates: 10,
+	}); r.ExitCode() != 3 || r.Partial != 1 {
+		t.Errorf("per-job budget cut: ExitCode = %d (partial %d), want 3 (1)", r.ExitCode(), r.Partial)
+	}
+	if r := run(&nice.Campaign{
+		Jobs:           []nice.CampaignJob{{Scenario: "pingpong", Scale: 2}},
+		Workers:        1,
+		TotalMaxStates: 10,
+	}); r.ExitCode() != 4 || r.Starved != 1 {
+		t.Errorf("drawdown cut: ExitCode = %d (starved %d), want 4 (1)", r.ExitCode(), r.Starved)
+	}
+}
+
+// TestCampaignJobHooks: OnJobStart/OnJobDone fire once per job with
+// the job's index, even at Parallelism > 1, and see final results.
+func TestCampaignJobHooks(t *testing.T) {
+	var mu sync.Mutex
+	started := map[int]string{}
+	done := map[int]string{}
+	c := &nice.Campaign{
+		Jobs: []nice.CampaignJob{
+			{Scenario: "bug-ii"},
+			{Scenario: "bug-ii", Fixed: true},
+			{Scenario: "no-such"},
+		},
+		Parallelism: 2,
+		OnJobStart: func(i int, job nice.CampaignJob) {
+			mu.Lock()
+			started[i] = job.Scenario
+			mu.Unlock()
+		},
+		OnJobDone: func(i int, res nice.CampaignResult) {
+			mu.Lock()
+			done[i] = res.Outcome
+			mu.Unlock()
+		},
+	}
+	r := c.Run(context.Background())
+	if len(started) != 3 || len(done) != 3 {
+		t.Fatalf("hooks fired %d starts / %d dones, want 3 / 3", len(started), len(done))
+	}
+	for i := range r.Results {
+		if done[i] != r.Results[i].Outcome {
+			t.Errorf("job %d: OnJobDone saw outcome %q, report says %q", i, done[i], r.Results[i].Outcome)
 		}
 	}
 }

@@ -1,0 +1,68 @@
+// Command nice-server runs the NICE checking service: a long-running
+// HTTP server that accepts scenario submissions (named registry
+// entries or inline declarative specs), schedules them onto a bounded
+// worker pool under per-tenant budgets, streams violations and
+// progress as NDJSON/SSE, and persists replayable violation traces as
+// content-addressed artifacts.
+//
+//	nice-server -addr :8080 -artifacts /var/lib/nice
+//	nice-server -workers 4 -tenant-states 1000000 -cache-capacity 8192
+//
+// Submit and watch jobs with `nice submit` / `nice watch`, or raw:
+//
+//	curl -XPOST localhost:8080/v1/jobs -d '{"scenario":"bug-ii"}'
+//	curl localhost:8080/v1/jobs/j1/stream
+//
+// See docs/SERVICE.md for the full API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/nice-go/nice"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 2, "concurrently running jobs")
+		queue     = flag.Int("queue", 64, "queued-job limit (excess submissions get 429)")
+		artifacts = flag.String("artifacts", "", "artifact directory (empty = no persistence)")
+		cacheCap  = flag.Int("cache-capacity", 4096, "shared discover-memo LRU bound in entries (-1 = unbounded)")
+		tenantS   = flag.Int64("tenant-states", 0, "per-tenant unique-state drawdown budget (0 = unbounded)")
+		tenantT   = flag.Int64("tenant-transitions", 0, "per-tenant transition drawdown budget (0 = unbounded)")
+		jobTime   = flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = uncapped)")
+		jobStates = flag.Int64("job-max-states", 0, "per-job unique-state cap (0 = uncapped)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	ready := make(chan string, 1)
+	go func() {
+		if a, ok := <-ready; ok {
+			fmt.Fprintf(os.Stderr, "nice-server: listening on %s\n", a)
+		}
+	}()
+	err := nice.Serve(ctx, *addr, nice.ServiceOptions{
+		Workers:              *workers,
+		QueueLimit:           *queue,
+		ArtifactDir:          *artifacts,
+		CacheCapacity:        *cacheCap,
+		TenantMaxStates:      *tenantS,
+		TenantMaxTransitions: *tenantT,
+		JobTimeout:           *jobTime,
+		JobMaxStates:         *jobStates,
+		ProgressEvery:        500 * time.Millisecond,
+	}, ready)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nice-server:", err)
+		os.Exit(1)
+	}
+}

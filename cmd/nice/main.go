@@ -49,7 +49,10 @@
 // run-all exit codes: 0 = every outcome as expected; 1 = an unexpected
 // outcome (missed bug, unexpected violation, job error); 2 = usage
 // error; 3 = expectations met so far but some searches were cut short
-// by budgets (inconclusive).
+// by their own per-job budgets or deadlines (inconclusive); 4 =
+// expectations met so far but the campaign-wide -total-states /
+// -total-transitions drawdown starved at least one job — raise the
+// shared budget and rerun, nothing is wrong with the scenarios.
 package main
 
 import (
@@ -86,9 +89,21 @@ func writeMetrics(path string, reg *nice.Telemetry) {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "run-all" {
-		runAll(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run-all":
+			runAll(os.Args[2:])
+			return
+		case "submit":
+			clientSubmit(os.Args[2:])
+			return
+		case "watch":
+			clientWatch(os.Args[2:])
+			return
+		case "replay":
+			clientReplay(os.Args[2:])
+			return
+		}
 	}
 	runOne()
 }
@@ -162,11 +177,8 @@ func runAll(args []string) {
 	if *jsonPath != "-" {
 		report.WriteText(os.Stdout)
 	}
-	switch {
-	case !report.OK():
-		os.Exit(1)
-	case report.Partial > 0:
-		os.Exit(3)
+	if code := report.ExitCode(); code != 0 {
+		os.Exit(code)
 	}
 }
 

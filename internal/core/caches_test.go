@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/nice-go/nice/hosts"
+	"github.com/nice-go/nice/internal/canon"
+	"github.com/nice-go/nice/internal/telemetry"
+	"github.com/nice-go/nice/openflow"
+	"github.com/nice-go/nice/topo"
+)
+
+// pkeyN builds a distinct packets-cache key from an integer.
+func pkeyN(i int) packetsCacheKey {
+	return packetsCacheKey{
+		host: openflow.HostID(i),
+		loc:  topo.PortKey{Sw: 1, Port: 1},
+		app:  canon.Hash128(fmt.Sprintf("app-state-%d", i)),
+	}
+}
+
+// skeyN builds a distinct stats-cache key from an integer.
+func skeyN(i int) statsCacheKey {
+	return statsCacheKey{sw: openflow.SwitchID(i), app: canon.Hash128(fmt.Sprintf("stats-state-%d", i))}
+}
+
+func TestCachesWithCapacityEvictsLRU(t *testing.T) {
+	cc := NewCaches().WithCapacity(3)
+	for i := 0; i < 3; i++ {
+		cc.putPackets(pkeyN(i), []openflow.Header{{Payload: fmt.Sprintf("p%d", i)}})
+	}
+	if got := cc.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if _, ok := cc.getPackets(pkeyN(0)); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	cc.putPackets(pkeyN(3), []openflow.Header{{Payload: "p3"}})
+	if got := cc.Len(); got != 3 {
+		t.Fatalf("Len after over-capacity insert = %d, want 3", got)
+	}
+	if _, ok := cc.getPackets(pkeyN(1)); ok {
+		t.Error("key 1 survived eviction; want it dropped as LRU")
+	}
+	for _, keep := range []int{0, 2, 3} {
+		if _, ok := cc.getPackets(pkeyN(keep)); !ok {
+			t.Errorf("key %d evicted; want it retained", keep)
+		}
+	}
+	if got := cc.Evictions(); got != 1 {
+		t.Errorf("Evictions = %d, want 1", got)
+	}
+}
+
+func TestCachesCapacitySpansBothMaps(t *testing.T) {
+	cc := NewCaches().WithCapacity(4)
+	for i := 0; i < 3; i++ {
+		cc.putPackets(pkeyN(i), nil)
+	}
+	for i := 0; i < 3; i++ {
+		cc.putStats(skeyN(i), nil)
+	}
+	if got := cc.Len(); got != 4 {
+		t.Fatalf("Len = %d, want capacity 4 across both maps", got)
+	}
+	// Shrinking the bound mid-life evicts immediately.
+	cc.WithCapacity(2)
+	if got := cc.Len(); got != 2 {
+		t.Fatalf("Len after WithCapacity(2) = %d, want 2", got)
+	}
+	if got := cc.Evictions(); got != 4 {
+		t.Errorf("Evictions = %d, want 4 (2 on insert + 2 on shrink)", got)
+	}
+	// Removing the bound stops eviction.
+	cc.WithCapacity(0)
+	for i := 10; i < 20; i++ {
+		cc.putPackets(pkeyN(i), nil)
+	}
+	if got := cc.Len(); got != 12 {
+		t.Fatalf("Len unbounded = %d, want 12", got)
+	}
+}
+
+func TestCachesEvictionTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	cc := NewCaches().WithCapacity(2)
+	cc.AttachTelemetry(reg)
+	for i := 0; i < 5; i++ {
+		cc.putPackets(pkeyN(i), nil)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("cache.evictions"); got != 3 {
+		t.Errorf("cache.evictions = %d, want 3", got)
+	}
+	if got := cc.Evictions(); got != 3 {
+		t.Errorf("Evictions() = %d, want 3", got)
+	}
+}
+
+// TestCachesConcurrentChurnAndPrune pins the satellite contract: LRU
+// eviction, Prune and WithCapacity are all safe concurrently with
+// running lookups/inserts (the multi-tenant service shares one memo
+// across jobs). Run under -race in CI.
+func TestCachesConcurrentChurnAndPrune(t *testing.T) {
+	cc := NewCaches().WithCapacity(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := pkeyN(g*10000 + i%300)
+				if _, ok := cc.getPackets(k); !ok {
+					cc.putPackets(k, []openflow.Header{{Payload: "x"}})
+				}
+				sk := skeyN(g*10000 + i%100)
+				if _, ok := cc.getStats(sk); !ok {
+					cc.putStats(sk, nil)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			cc.Prune(32)
+			cc.WithCapacity(64)
+			cc.Len()
+			cc.Evictions()
+		}
+	}()
+	wg.Wait()
+	if got := cc.Len(); got > 64 {
+		t.Errorf("Len after churn = %d, want <= capacity 64", got)
+	}
+	if cc.Evictions() == 0 {
+		t.Error("expected evictions during churn")
+	}
+}
+
+// TestCachesSearchSurvivesEviction runs a real SE-enabled search
+// against a pathologically tiny cache bound: the search must still
+// terminate with the same outcome as an unbounded run, even though
+// entries are evicted mid-search and discovery re-runs.
+func TestCachesSearchSurvivesEviction(t *testing.T) {
+	build := func() *Config {
+		t2, aID, bID := topo.SingleSwitch()
+		ping := openflow.Header{EthSrc: topo.MACHostA, EthDst: topo.MACHostB,
+			EthType: openflow.EthTypeIPv4, Payload: "ping"}
+		a := hosts.NewClient(t2.Host(aID), 2, 0, ping)
+		b := hosts.NewServer(t2.Host(bID), hosts.EchoReply, 1)
+		return &Config{Topo: t2, App: newLearnApp(), Hosts: []*hosts.Host{a, b}}
+	}
+	tiny := NewCaches().WithCapacity(1)
+	r := NewCheckerWith(build(), tiny).Run()
+	full := NewChecker(build()).Run()
+	if len(r.Violations) != len(full.Violations) {
+		t.Errorf("violations with capacity-1 cache = %d, want %d",
+			len(r.Violations), len(full.Violations))
+	}
+	if r.UniqueStates < full.UniqueStates {
+		t.Errorf("bounded-cache search reached %d states, full search %d — eviction may cost revisits but never coverage",
+			r.UniqueStates, full.UniqueStates)
+	}
+	if tiny.Len() > 1 {
+		t.Errorf("cache Len = %d, want <= 1", tiny.Len())
+	}
+	if tiny.Evictions() == 0 {
+		t.Error("expected mid-search evictions with capacity 1")
+	}
+}

@@ -171,6 +171,13 @@ func (c *Checker) RunContext(ctx context.Context, opts EngineOptions) *Report {
 	} else {
 		c.dfs(root)
 	}
+	// A cancellation that landed between the rationed ctx polls and the
+	// end of the search still wins over "complete": callers canceling
+	// mid-run always observe a canceled partial report, whichever side
+	// of the race drained first.
+	if !c.stopped && ctx.Err() != nil {
+		c.abort(ContextStopReason(ctx))
+	}
 
 	c.report.SERuns = c.caches.SERuns()
 	c.report.Elapsed = time.Since(c.start)

@@ -342,6 +342,11 @@ walking:
 			})
 		}
 	}
+	// A cancellation racing the last steps still wins over "complete";
+	// an earlier stop (first-violation, budgets) keeps its reason.
+	if !stopped && ctx.Err() != nil {
+		abort(ContextStopReason(ctx))
+	}
 	report.SERuns = cc.SERuns()
 	report.Elapsed = time.Since(start)
 	// Final snapshot before SearchStop, so the trace stream ends on the

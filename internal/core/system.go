@@ -35,6 +35,20 @@ type statsCacheKey struct {
 	app canon.Digest
 }
 
+// cacheNode is one memo entry. used carries the logical last-use stamp
+// for LRU eviction: hits store a fresh clock tick with an atomic write,
+// so the read path keeps the shared RLock (a linked-list LRU would need
+// the write lock on every fingerprint-path hit, serializing parallel
+// workers). Eviction scans for the minimum stamp — O(entries), but it
+// only runs on insert-over-capacity, and every insert is preceded by a
+// full concolic execution that dwarfs the scan.
+type cacheNode struct {
+	used atomic.Int64
+
+	packetsVal []openflow.Header
+	statsVal   [][]openflow.PortStats
+}
+
 // Caches hold the results of discover transitions. They are shared
 // across the whole search (not cloned with states): concolic execution
 // is deterministic given the controller state, so the cache is a pure
@@ -42,11 +56,29 @@ type statsCacheKey struct {
 // controller state. All accessors are safe for concurrent use, so one
 // Caches may be shared by the parallel workers of internal/search (and
 // across sequential searches, to warm later runs).
+//
+// WithCapacity bounds the memo with an LRU over both maps — the
+// multi-tenant setting (internal/service), where unbounded scenario
+// churn would otherwise grow the process without limit. Eviction is
+// safe at any time, including concurrently with running searches:
+// discovery is deterministic, so a re-miss merely re-runs concolic
+// execution and re-inserts the identical value. Cache presence feeds
+// state identity (System.Fingerprint hashes it), so an eviction
+// mid-search can make a revisited state look new and cost re-expansion
+// work — never soundness. Size the bound above one search's working
+// set and searches stay exact; the LRU only reclaims across scenarios.
 type Caches struct {
 	mu      sync.RWMutex
-	packets map[packetsCacheKey][]openflow.Header
-	stats   map[statsCacheKey][][]openflow.PortStats
+	packets map[packetsCacheKey]*cacheNode
+	stats   map[statsCacheKey]*cacheNode
 	seRuns  atomic.Int64 // concolic explorations performed
+
+	// capacity bounds len(packets)+len(stats); 0 = unbounded. clock is
+	// the logical LRU timestamp source (monotonic per lookup/insert).
+	capacity  int
+	clock     atomic.Int64
+	evictions atomic.Int64
+
 	// tel is the optional hit/miss instrumentation, attached race-free
 	// mid-lifetime (campaigns share one Caches across concurrent jobs).
 	// Nil means disabled: the lookup paths pay one atomic load.
@@ -106,11 +138,13 @@ func (c *Caches) HitRate() float64 {
 }
 
 // Prune empties the memo when it holds more than max entries, returning
-// the number dropped (0 when under the bound). Cache presence feeds
-// state identity, so pruning is only safe BETWEEN searches — long-lived
-// front ends that keep caches warm across many runs (campaigns, a
-// checking service) call it to bound memory; each subsequent search is
-// self-consistent, it merely starts cold again.
+// the number dropped (0 when under the bound). It is safe to call at
+// any time, including concurrently with running searches: a search
+// that loses entries re-runs the deterministic discovery and merely
+// does extra work (see the Caches doc). Long-lived front ends that
+// keep caches warm across many runs (campaigns, the checking service)
+// call it — or set WithCapacity for incremental LRU eviction instead
+// of wholesale flushes.
 func (c *Caches) Prune(max int) int {
 	c.mu.Lock()
 	n := len(c.packets) + len(c.stats)
@@ -118,8 +152,9 @@ func (c *Caches) Prune(max int) int {
 		c.mu.Unlock()
 		return 0
 	}
-	c.packets = make(map[packetsCacheKey][]openflow.Header)
-	c.stats = make(map[statsCacheKey][][]openflow.PortStats)
+	c.packets = make(map[packetsCacheKey]*cacheNode)
+	c.stats = make(map[statsCacheKey]*cacheNode)
+	c.evictions.Add(int64(n))
 	c.mu.Unlock()
 	if t := c.tel.Load(); t != nil {
 		t.evictions.Add(int64(n))
@@ -135,11 +170,92 @@ func (c *Caches) Len() int {
 	return len(c.packets) + len(c.stats)
 }
 
-// NewCaches builds an empty discover-cache set.
+// Evictions counts entries dropped so far by Prune and by the
+// WithCapacity LRU bound (monotonic, observable without a telemetry
+// registry).
+func (c *Caches) Evictions() int64 { return c.evictions.Load() }
+
+// Capacity reports the LRU bound (0 = unbounded).
+func (c *Caches) Capacity() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.capacity
+}
+
+// WithCapacity bounds the memo to at most max entries across both maps,
+// evicting least-recently-used entries on insert (and immediately, if
+// the memo is already over the new bound). max <= 0 removes the bound.
+// Returns c for chaining; safe to call while searches run.
+func (c *Caches) WithCapacity(max int) *Caches {
+	c.mu.Lock()
+	if max < 0 {
+		max = 0
+	}
+	c.capacity = max
+	dropped := c.evictOverCapacityLocked()
+	c.mu.Unlock()
+	c.noteEvictions(dropped, "capacity")
+	return c
+}
+
+// noteEvictions forwards an eviction count to the attached telemetry.
+func (c *Caches) noteEvictions(n int64, why string) {
+	if n <= 0 {
+		return
+	}
+	if t := c.tel.Load(); t != nil {
+		t.evictions.Add(n)
+		t.scope.Emit(telemetry.TraceCacheEvict, n, why)
+	}
+}
+
+// touch stamps a node as just-used. Called under RLock: the stamp is an
+// atomic write, so concurrent hits race benignly (either order is a
+// valid recency).
+func (c *Caches) touch(n *cacheNode) { n.used.Store(c.clock.Add(1)) }
+
+// evictOverCapacityLocked drops least-recently-used entries until the
+// memo fits the bound, returning how many were dropped. Caller holds mu
+// and reports the count to telemetry after unlocking.
+func (c *Caches) evictOverCapacityLocked() int64 {
+	var dropped int64
+	for c.capacity > 0 && len(c.packets)+len(c.stats) > c.capacity {
+		var (
+			oldest   int64
+			oldPkey  packetsCacheKey
+			oldSkey  statsCacheKey
+			oldStats bool
+			found    bool
+		)
+		for k, n := range c.packets {
+			if u := n.used.Load(); !found || u < oldest {
+				oldest, oldPkey, oldStats, found = u, k, false, true
+			}
+		}
+		for k, n := range c.stats {
+			if u := n.used.Load(); !found || u < oldest {
+				oldest, oldSkey, oldStats, found = u, k, true, true
+			}
+		}
+		if !found {
+			break
+		}
+		if oldStats {
+			delete(c.stats, oldSkey)
+		} else {
+			delete(c.packets, oldPkey)
+		}
+		dropped++
+	}
+	c.evictions.Add(dropped)
+	return dropped
+}
+
+// NewCaches builds an empty, unbounded discover-cache set.
 func NewCaches() *Caches {
 	return &Caches{
-		packets: make(map[packetsCacheKey][]openflow.Header),
-		stats:   make(map[statsCacheKey][][]openflow.PortStats),
+		packets: make(map[packetsCacheKey]*cacheNode),
+		stats:   make(map[statsCacheKey]*cacheNode),
 	}
 }
 
@@ -148,7 +264,12 @@ func (c *Caches) SERuns() int64 { return c.seRuns.Load() }
 
 func (c *Caches) getPackets(key packetsCacheKey) ([]openflow.Header, bool) {
 	c.mu.RLock()
-	v, ok := c.packets[key]
+	n, ok := c.packets[key]
+	var v []openflow.Header
+	if ok {
+		v = n.packetsVal
+		c.touch(n)
+	}
 	c.mu.RUnlock()
 	if t := c.tel.Load(); t != nil {
 		if ok {
@@ -164,17 +285,27 @@ func (c *Caches) getPackets(key packetsCacheKey) ([]openflow.Header, bool) {
 // canonical (winning) value is returned so racing workers agree.
 func (c *Caches) putPackets(key packetsCacheKey, v []openflow.Header) []openflow.Header {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if prev, ok := c.packets[key]; ok {
-		return prev
+		c.mu.Unlock()
+		return prev.packetsVal
 	}
-	c.packets[key] = v
+	n := &cacheNode{packetsVal: v}
+	c.touch(n)
+	c.packets[key] = n
+	dropped := c.evictOverCapacityLocked()
+	c.mu.Unlock()
+	c.noteEvictions(dropped, "lru")
 	return v
 }
 
 func (c *Caches) getStats(key statsCacheKey) ([][]openflow.PortStats, bool) {
 	c.mu.RLock()
-	v, ok := c.stats[key]
+	n, ok := c.stats[key]
+	var v [][]openflow.PortStats
+	if ok {
+		v = n.statsVal
+		c.touch(n)
+	}
 	c.mu.RUnlock()
 	if t := c.tel.Load(); t != nil {
 		if ok {
@@ -188,11 +319,16 @@ func (c *Caches) getStats(key statsCacheKey) ([][]openflow.PortStats, bool) {
 
 func (c *Caches) putStats(key statsCacheKey, v [][]openflow.PortStats) [][]openflow.PortStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if prev, ok := c.stats[key]; ok {
-		return prev
+		c.mu.Unlock()
+		return prev.statsVal
 	}
-	c.stats[key] = v
+	n := &cacheNode{statsVal: v}
+	c.touch(n)
+	c.stats[key] = n
+	dropped := c.evictOverCapacityLocked()
+	c.mu.Unlock()
+	c.noteEvictions(dropped, "lru")
 	return v
 }
 

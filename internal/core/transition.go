@@ -89,6 +89,23 @@ func (k TransitionKind) String() string {
 	return fmt.Sprintf("transition(%d)", int(k))
 }
 
+// kindByName is the inverse of kindNames, for wire decoding.
+var kindByName = func() map[string]TransitionKind {
+	m := make(map[string]TransitionKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// ParseTransitionKind resolves a transition kind from its canonical
+// String spelling — the inverse used when decoding persisted traces
+// (internal/service artifacts).
+func ParseTransitionKind(name string) (TransitionKind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
 // Transition is a self-contained transition descriptor: it carries
 // everything needed to re-execute it (the packet header for sends, the
 // stats vector for process_stats, the move target), so a recorded

@@ -362,6 +362,12 @@ func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Rep
 	}
 	wg.Wait()
 	unwatch()
+	// A cancellation racing the frontier drain still wins over
+	// "complete" (abort keeps any earlier reason: first one recorded
+	// wins), so mid-run cancels always yield a canceled report.
+	if ctx.Err() != nil {
+		st.ctl.abort(core.ContextStopReason(ctx))
+	}
 
 	reason := st.ctl.stopReason()
 	report := &core.Report{

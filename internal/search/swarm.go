@@ -89,6 +89,11 @@ func (e *Engine) runSwarm(ctx context.Context, eo core.EngineOptions) *core.Repo
 	}
 	wg.Wait()
 	unwatch()
+	// As in the hybrid engine: a cancellation racing the last walks
+	// still wins over "complete".
+	if ctx.Err() != nil {
+		st.ctl.abort(core.ContextStopReason(ctx))
+	}
 
 	reason := st.ctl.stopReason()
 	report := &core.Report{

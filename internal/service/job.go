@@ -1,0 +1,165 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// job is one scheduled check. Its result stream is an append-only
+// event history guarded by mu: every subscriber reads by cursor, so a
+// slow client never blocks the search (appends don't wait on anyone),
+// no client ever misses an event (late attachers replay the history),
+// and the engine's exactly-once Final progress snapshot arrives
+// exactly once per client — it is one entry in the history.
+type job struct {
+	id     string
+	tenant string
+	req    JobRequest
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	queuedAt time.Time
+	started  time.Time
+	ended    time.Time
+	result   *JobResult
+	events   []Event
+	subs     map[*subscriber]struct{}
+	cancel   context.CancelFunc // set while running; also used by DELETE
+	canceled bool               // DELETE arrived (maybe before running)
+	closed   chan struct{}      // closed when the job reaches a terminal state
+}
+
+// subscriber is one attached stream client: a cursor into the event
+// history plus a capacity-1 wakeup channel (a lost wakeup is fine — a
+// pending one is already there, and the reader re-checks the history).
+type subscriber struct {
+	notify chan struct{}
+}
+
+func newJob(id, tenant string, req JobRequest) *job {
+	return &job{
+		id:       id,
+		tenant:   tenant,
+		req:      req,
+		state:    StateQueued,
+		queuedAt: time.Now(),
+		subs:     make(map[*subscriber]struct{}),
+		closed:   make(chan struct{}),
+	}
+}
+
+// append adds one event (stamping Job/Seq) and wakes every subscriber.
+func (j *job) append(ev Event) {
+	j.mu.Lock()
+	ev.Job = j.id
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	for s := range j.subs {
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// setState transitions the job and appends the status event. Terminal
+// states close the job: the done event (with the result, if any) is
+// appended first so subscribers always observe it before EOF.
+func (j *job) setState(state string, result *JobResult, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	switch state {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateCanceled, StateError:
+		j.ended = time.Now()
+		j.result = result
+	}
+	j.mu.Unlock()
+
+	if state == StateDone || state == StateCanceled || state == StateError {
+		j.append(Event{Type: "done", State: state, Result: result})
+		close(j.closed)
+	} else {
+		j.append(Event{Type: "status", State: state})
+	}
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *job) terminal() bool {
+	select {
+	case <-j.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// subscribe attaches a stream client; the caller must unsubscribe.
+func (j *job) subscribe() *subscriber {
+	s := &subscriber{notify: make(chan struct{}, 1)}
+	j.mu.Lock()
+	j.subs[s] = struct{}{}
+	j.mu.Unlock()
+	return s
+}
+
+func (j *job) unsubscribe(s *subscriber) {
+	j.mu.Lock()
+	delete(j.subs, s)
+	j.mu.Unlock()
+}
+
+// eventsFrom returns the history from cursor on (aliasing the shared
+// backing array — events are append-only and never mutated in place).
+func (j *job) eventsFrom(cursor int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cursor >= len(j.events) {
+		return nil
+	}
+	return j.events[cursor:]
+}
+
+// status snapshots the job as its wire document.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.id,
+		Tenant:   j.tenant,
+		Request:  j.req,
+		State:    j.state,
+		Error:    j.errMsg,
+		QueuedAt: j.queuedAt,
+		Result:   j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.ended.IsZero() {
+		t := j.ended
+		st.EndedAt = &t
+	}
+	return st
+}
+
+// requestCancel marks the job canceled and interrupts its search if
+// one is running. Returns false if the job already finished.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateCanceled || j.state == StateError {
+		return false
+	}
+	j.canceled = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}

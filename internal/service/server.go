@@ -1,0 +1,492 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice/internal/search"
+	"github.com/nice-go/nice/internal/telemetry"
+	"github.com/nice-go/nice/scenarios"
+)
+
+// Options configures a Server. The zero value is serviceable: two
+// workers, a 64-deep queue, a 4096-entry shared discover memo, no
+// artifact persistence and unbounded tenants.
+type Options struct {
+	// Workers bounds concurrently running jobs (default 2).
+	Workers int
+	// QueueLimit bounds queued-but-not-running jobs; submissions
+	// beyond it are rejected with 429 (default 64).
+	QueueLimit int
+
+	// ArtifactDir persists violation traces and telemetry snapshots as
+	// content-addressed JSON under this directory ("" = no artifacts).
+	ArtifactDir string
+
+	// CacheCapacity LRU-bounds the discover memo shared by every job
+	// (default 4096 entries; negative = unbounded). The memo is keyed
+	// by app-state digest, so jobs of the same scenario warm each
+	// other up while tenant churn cannot grow the process unboundedly.
+	CacheCapacity int
+
+	// TenantMaxStates / TenantMaxTransitions are per-tenant drawdown
+	// budgets shared by all of a tenant's jobs, in Campaign's
+	// shared-budget sense: every finished job draws down its tenant's
+	// pool, and a tenant with nothing left gets 429 until the server
+	// restarts (0 = unbounded).
+	TenantMaxStates      int64
+	TenantMaxTransitions int64
+
+	// JobTimeout / JobMaxStates / JobMaxTransitions cap what any
+	// single job may ask for (0 = uncapped).
+	JobTimeout        time.Duration
+	JobMaxStates      int64
+	JobMaxTransitions int64
+	DefaultJobWorkers int
+	ProgressEvery     time.Duration
+	// Telemetry receives the "service" scope plus every job's engine
+	// scopes (nil = the server creates its own registry).
+	Telemetry *telemetry.Registry
+}
+
+// serviceTelemetry is the "service"-scope handle bundle.
+type serviceTelemetry struct {
+	queued           *telemetry.Gauge
+	running          *telemetry.Gauge
+	submitted        *telemetry.Counter
+	rejected         *telemetry.Counter
+	completed        *telemetry.Counter
+	canceled         *telemetry.Counter
+	errored          *telemetry.Counter
+	starved          *telemetry.Counter
+	queueWait        *telemetry.Histogram
+	artifactsWritten *telemetry.Counter
+	artifactBytes    *telemetry.Counter
+	streamClients    *telemetry.Gauge
+}
+
+func newServiceTelemetry(reg *telemetry.Registry) *serviceTelemetry {
+	sc := reg.Scope("service")
+	return &serviceTelemetry{
+		queued:           sc.Gauge("jobs_queued"),
+		running:          sc.Gauge("jobs_running"),
+		submitted:        sc.Counter("jobs_submitted"),
+		rejected:         sc.Counter("jobs_rejected"),
+		completed:        sc.Counter("jobs_completed"),
+		canceled:         sc.Counter("jobs_canceled"),
+		errored:          sc.Counter("jobs_errored"),
+		starved:          sc.Counter("jobs_starved"),
+		queueWait:        sc.Histogram("queue_wait_ms", []int64{1, 10, 100, 1000, 10000}),
+		artifactsWritten: sc.Counter("artifacts_written"),
+		artifactBytes:    sc.Counter("artifact_bytes"),
+		streamClients:    sc.Gauge("stream_clients"),
+	}
+}
+
+// tenant is one submitter's shared drawdown pool.
+type tenant struct {
+	statesLeft atomic.Int64
+	transLeft  atomic.Int64
+}
+
+// Server is the long-running checking service: a bounded worker pool
+// over a job queue, per-job event streams, per-tenant budgets, one
+// shared LRU-bounded discover memo, and an artifact store.
+type Server struct {
+	opts  Options
+	reg   *telemetry.Registry
+	tel   *serviceTelemetry
+	cc    *core.Caches
+	store *artifactStore
+
+	baseCtx       context.Context
+	cancel        context.CancelFunc
+	wg            sync.WaitGroup
+	running       atomic.Int64
+	streamClients atomic.Int64
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	nextID   int
+	queue    chan *job
+	tenants  map[string]*tenant
+	shutdown bool
+}
+
+// New builds and starts a Server (its workers run until Shutdown).
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = 64
+	}
+	if opts.CacheCapacity == 0 {
+		opts.CacheCapacity = 4096
+	}
+	if opts.CacheCapacity < 0 {
+		opts.CacheCapacity = 0 // unbounded
+	}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	tel := newServiceTelemetry(reg)
+	store, err := newArtifactStore(opts.ArtifactDir, tel)
+	if err != nil {
+		return nil, err
+	}
+	cc := core.NewCaches().WithCapacity(opts.CacheCapacity)
+	cc.AttachTelemetry(reg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		reg:     reg,
+		tel:     tel,
+		cc:      cc,
+		store:   store,
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, opts.QueueLimit),
+		tenants: make(map[string]*tenant),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Telemetry returns the server's registry (for mounting the metrics
+// mux or snapshotting).
+func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
+
+// Caches exposes the shared discover memo (tests observe its bound).
+func (s *Server) Caches() *core.Caches { return s.cc }
+
+// submitError distinguishes rejection classes for the HTTP layer.
+type submitError struct {
+	status int
+	msg    string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// Submit validates, admits and enqueues a job for the tenant.
+func (s *Server) Submit(tenantName string, req *JobRequest) (*job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, &submitError{status: 400, msg: err.Error()}
+	}
+	// Resolve the scenario now so an unknown name is a 400 at submit,
+	// not a failed job; the config itself is rebuilt when the job runs.
+	if _, _, err := buildConfig(req); err != nil {
+		return nil, &submitError{status: 400, msg: err.Error()}
+	}
+	if tenantName == "" {
+		tenantName = "default"
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return nil, &submitError{status: 503, msg: "server shutting down"}
+	}
+	tn := s.tenants[tenantName]
+	if tn == nil {
+		tn = &tenant{}
+		tn.statesLeft.Store(s.opts.TenantMaxStates)
+		tn.transLeft.Store(s.opts.TenantMaxTransitions)
+		s.tenants[tenantName] = tn
+	}
+	if (s.opts.TenantMaxStates > 0 && tn.statesLeft.Load() <= 0) ||
+		(s.opts.TenantMaxTransitions > 0 && tn.transLeft.Load() <= 0) {
+		s.tel.rejected.Inc()
+		return nil, &submitError{status: 429, msg: "tenant budget exhausted"}
+	}
+
+	s.nextID++
+	j := newJob("j"+strconv.Itoa(s.nextID), tenantName, *req)
+	select {
+	case s.queue <- j:
+	default:
+		s.tel.rejected.Inc()
+		return nil, &submitError{status: 429, msg: "queue full"}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.tel.submitted.Inc()
+	s.tel.queued.Set(int64(len(s.queue)))
+	j.append(Event{Type: "status", State: StateQueued})
+	return j, nil
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Shutdown stops the service gracefully: new submissions get 503,
+// running searches are canceled (each still delivers its exactly-once
+// Final progress snapshot and a terminal done event to every attached
+// stream client), queued jobs are drained as canceled, and workers
+// exit. Returns ctx.Err() if the drain outlives ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.shutdown {
+		s.shutdown = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.cancel()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.tel.queued.Set(int64(len(s.queue)))
+		s.tel.queueWait.Observe(time.Since(j.queuedAt).Milliseconds())
+		s.runJob(j)
+	}
+}
+
+// buildConfig resolves a request into a runnable Config plus the
+// scenario's expected-violation property. A panicking scenario Build
+// hook surfaces as an error.
+func buildConfig(req *JobRequest) (cfg *core.Config, expected string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cfg, expected, err = nil, "", fmt.Errorf("building scenario: %v", r)
+		}
+	}()
+	var sc scenarios.Scenario
+	if req.Scenario != "" {
+		var ok bool
+		sc, ok = scenarios.Lookup(req.Scenario)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown scenario %q", req.Scenario)
+		}
+	} else {
+		sp, cerr := req.Spec.Compile()
+		if cerr != nil {
+			return nil, "", cerr
+		}
+		sc = sp.Scenario()
+	}
+	strat, _ := scenarios.ParseStrategy(req.Strategy)
+	if req.Fixed {
+		if cfg = sc.FixedConfig(req.Scale); cfg == nil {
+			return nil, "", fmt.Errorf("scenario %q has no repaired variant", sc.Name)
+		}
+	} else {
+		cfg = sc.Config(req.Scale)
+		expected = sc.ExpectedProperty
+	}
+	return sc.Apply(cfg, strat), expected, nil
+}
+
+// runJob executes one job end to end: build, clamp budgets against
+// the tenant's drawdown, search with the event-bridging observer,
+// persist artifacts, draw down, finalize.
+func (s *Server) runJob(j *job) {
+	// A job canceled while queued — or picked up mid-shutdown — never
+	// runs; it still terminates its stream with a done event.
+	j.mu.Lock()
+	preCanceled := j.canceled
+	j.mu.Unlock()
+	if preCanceled || s.baseCtx.Err() != nil {
+		s.tel.canceled.Inc()
+		j.setState(StateCanceled, nil, "")
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	j.mu.Lock()
+	j.cancel = cancel
+	if j.canceled { // DELETE raced the pickup
+		cancel()
+	}
+	j.mu.Unlock()
+
+	s.tel.running.Set(s.running.Add(1))
+	defer func() { s.tel.running.Set(s.running.Add(-1)) }()
+	j.setState(StateRunning, nil, "")
+
+	cfg, _, err := buildConfig(&j.req)
+	if err != nil {
+		s.tel.errored.Inc()
+		j.setState(StateError, nil, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	tn := s.tenants[j.tenant]
+	s.mu.Unlock()
+
+	// Budget clamping, Campaign-style: the job's own asks, capped by
+	// the server's per-job limits, capped by the tenant's remaining
+	// drawdown. Track whether the drawdown is the binding limit.
+	minPos := func(vals ...int64) int64 {
+		var m int64
+		for _, v := range vals {
+			if v > 0 && (m == 0 || v < m) {
+				m = v
+			}
+		}
+		return m
+	}
+	maxStates := minPos(j.req.MaxStates, s.opts.JobMaxStates)
+	maxTrans := minPos(j.req.MaxTransitions, s.opts.JobMaxTransitions)
+	var drawStates, drawTrans bool
+	if s.opts.TenantMaxStates > 0 {
+		if left := tn.statesLeft.Load(); maxStates == 0 || left < maxStates {
+			maxStates = left
+			drawStates = true
+		}
+	}
+	if s.opts.TenantMaxTransitions > 0 {
+		if left := tn.transLeft.Load(); maxTrans == 0 || left < maxTrans {
+			maxTrans = left
+			drawTrans = true
+		}
+	}
+
+	eo := core.EngineOptions{
+		Workers:        j.req.Workers,
+		MaxStates:      maxStates,
+		MaxTransitions: maxTrans,
+		Caches:         s.cc,
+		Telemetry:      s.reg,
+		ProgressEvery:  s.opts.ProgressEvery,
+		Observer: core.ObserverFuncs{
+			Violation: func(v core.Violation) {
+				wv := EncodeViolation(&v)
+				j.append(Event{Type: "violation", Violation: &wv})
+			},
+			Progress: func(p core.Progress) {
+				j.append(Event{Type: "progress", Progress: encodeProgress(p)})
+			},
+		},
+	}
+	if eo.Workers == 0 {
+		eo.Workers = s.opts.DefaultJobWorkers
+	}
+	var engine core.Engine = core.DFS()
+	if eo.Workers > 1 {
+		engine = search.Parallel()
+	}
+	timeout := s.opts.JobTimeout
+	if req := time.Duration(j.req.TimeoutMS) * time.Millisecond; req > 0 && (timeout == 0 || req < timeout) {
+		timeout = req
+	}
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	report := engine.Search(ctx, cfg, eo)
+	if tn != nil {
+		tn.statesLeft.Add(-report.UniqueStates)
+		tn.transLeft.Add(-report.Transitions)
+	}
+
+	result := &JobResult{
+		Transitions:  report.Transitions,
+		UniqueStates: report.UniqueStates,
+		SERuns:       report.SERuns,
+		Complete:     report.Complete,
+		StopReason:   string(report.StopReason),
+		ElapsedMS:    report.Elapsed.Milliseconds(),
+		Starved: (drawStates && report.StopReason == core.StopMaxStates) ||
+			(drawTrans && report.StopReason == core.StopMaxTransitions),
+	}
+	if result.Starved {
+		s.tel.starved.Inc()
+	}
+	for i := range report.Violations {
+		result.Violations = append(result.Violations, EncodeViolation(&report.Violations[i]))
+	}
+	s.persistArtifacts(j, result)
+
+	switch {
+	case report.StopReason == core.StopCanceled:
+		s.tel.canceled.Inc()
+		j.setState(StateCanceled, result, "")
+	default:
+		s.tel.completed.Inc()
+		j.setState(StateDone, result, "")
+	}
+}
+
+// persistArtifacts writes one trace artifact per violation plus the
+// job's telemetry snapshot, recording their content addresses on the
+// result. Artifact failures degrade to an unpersisted result — the
+// stream still carries the violations — rather than failing the job.
+func (s *Server) persistArtifacts(j *job, result *JobResult) {
+	if s.store == nil {
+		return
+	}
+	for i := range result.Violations {
+		ta := TraceArtifact{
+			Version:   WireVersion,
+			Job:       j.id,
+			Tenant:    j.tenant,
+			Request:   j.req,
+			Violation: result.Violations[i],
+		}
+		// Keep TraceArtifacts index-aligned with Violations even if a
+		// write fails: the placeholder is the empty string.
+		id := ""
+		if data, err := json.MarshalIndent(ta, "", " "); err == nil {
+			id, _ = s.store.put(data)
+		}
+		result.TraceArtifacts = append(result.TraceArtifacts, id)
+	}
+	if snap, err := json.Marshal(s.reg.Snapshot()); err == nil {
+		if id, err := s.store.put(snap); err == nil {
+			result.TelemetryArtifact = id
+		}
+	}
+}
