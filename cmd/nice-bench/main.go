@@ -18,6 +18,13 @@
 // -metrics-only skips the suite and just round-trips the snapshot):
 //
 //	go run ./cmd/nice-bench -metrics metrics.json -metrics-only -out merged.json
+//
+// Run the concolic comparison suite and gate on it (each gated
+// workload searches twice from cold caches — eager DFS, then the
+// symbolic feedback loop — and must keep violation parity while
+// discovering strictly more packet classes):
+//
+//	go run ./cmd/nice-bench -concolic -min-concolic-scenarios 2
 package main
 
 import (
@@ -51,10 +58,44 @@ func validateSearchSnapshot(snap *telemetry.Snapshot) error {
 	}
 	for _, name := range depths {
 		if snap.Histograms[name].Count > 0 {
-			return nil
+			return validateSymScope(snap)
 		}
 	}
 	return fmt.Errorf("depth histogram(s) %v recorded no observations", depths)
+}
+
+// validateSymScope checks the symbolic-execution scope when the
+// snapshot carries one (any instrumented SE-enabled search does): the
+// counters must be non-negative and mutually coherent — sat + unsat
+// accounts for every solver call, so does hits + misses, and the memo
+// hit rate those imply lands in [0, 1].
+func validateSymScope(snap *telemetry.Snapshot) error {
+	if _, ok := snap.Counters["sym.solver_calls"]; !ok {
+		return nil // SE-free search: no sym scope to validate
+	}
+	names := []string{"sym.explorations", "sym.paths", "sym.solver_calls",
+		"sym.solver_sat", "sym.solver_unsat", "sym.memo_hits", "sym.memo_misses",
+		"sym.classes"}
+	for _, n := range names {
+		if snap.Counters[n] < 0 {
+			return fmt.Errorf("%s is negative (%d) — counters must be monotone", n, snap.Counters[n])
+		}
+	}
+	calls := snap.Counters["sym.solver_calls"]
+	if got := snap.Counters["sym.solver_sat"] + snap.Counters["sym.solver_unsat"]; got != calls {
+		return fmt.Errorf("sym.solver_sat + sym.solver_unsat = %d, want sym.solver_calls = %d", got, calls)
+	}
+	lookups := snap.Counters["sym.memo_hits"] + snap.Counters["sym.memo_misses"]
+	if lookups != calls {
+		return fmt.Errorf("sym.memo_hits + sym.memo_misses = %d, want sym.solver_calls = %d", lookups, calls)
+	}
+	if lookups > 0 {
+		rate := float64(snap.Counters["sym.memo_hits"]) / float64(lookups)
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("sym memo hit rate %.3f outside [0, 1]", rate)
+		}
+	}
+	return nil
 }
 
 func main() {
@@ -79,6 +120,10 @@ func main() {
 			"fail unless enough gated DPOR workloads keep violation parity and cut unique states by this fraction (implies -dpor; 0 = off)")
 		minDporCount = flag.Int("min-dpor-scenarios", 5,
 			"how many gated DPOR workloads must clear -min-dpor-reduction")
+		concolic = flag.Bool("concolic", false,
+			"run the concolic eager-vs-feedback-loop comparison suite")
+		minConcolic = flag.Int("min-concolic-scenarios", 0,
+			"fail unless this many gated concolic workloads keep violation parity and discover strictly more classes than eager search (implies -concolic; 0 = off)")
 	)
 	flag.Parse()
 
@@ -128,6 +173,23 @@ func main() {
 			fmt.Printf("%s %-28s %8d -> %8d states (-%4.1f%%) %9d -> %9d trans  %s\n",
 				gate, r.Name, r.FullStates, r.ReducedStates, r.Reduction*100,
 				r.FullTransitions, r.ReducedTransitions, parity)
+		}
+	}
+
+	if *concolic || *minConcolic > 0 {
+		suite.Concolic = bench.RunConcolic(*workers)
+		for _, r := range suite.Concolic {
+			gate := " "
+			if r.Gate {
+				gate = "*"
+			}
+			parity := "parity ok"
+			if !r.ParityOK {
+				parity = "PARITY BROKEN"
+			}
+			fmt.Printf("%s %-28s %6d -> %6d classes  %8d -> %8d states  %3d feedback rounds  %8.0f classes/sec  %s\n",
+				gate, r.Name, r.EagerClasses, r.LoopClasses, r.EagerStates, r.LoopStates,
+				r.FeedbackRounds, r.ClassesPerSec, parity)
 		}
 	}
 
@@ -185,6 +247,22 @@ func main() {
 			passed, *minDporRed*100)
 	}
 
+	if *minConcolic > 0 {
+		passed, failures := bench.ConcolicGate(suite.Concolic)
+		if passed < *minConcolic {
+			fmt.Fprintf(os.Stderr,
+				"nice-bench: only %d/%d gated concolic workloads kept parity and beat the eager class count:\n",
+				passed, *minConcolic)
+			for _, r := range failures {
+				fmt.Fprintf(os.Stderr, "   %s: classes %d vs eager %d, parity %v\n",
+					r.Name, r.LoopClasses, r.EagerClasses, r.ParityOK)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("concolic gate passed: %d workload(s) with strictly more classes than eager discovery, violation sets identical\n",
+			passed)
+	}
+
 	if *baseline != "" {
 		base, err := bench.Load(*baseline)
 		if err != nil {
@@ -192,6 +270,9 @@ func main() {
 			os.Exit(2)
 		}
 		regs := bench.CompareAlloc(base, suite, *tolerance, *allocTol)
+		if len(suite.Concolic) > 0 {
+			regs = append(regs, bench.CompareConcolic(base, suite, *tolerance)...)
+		}
 		if len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "nice-bench: %d gated workload metric(s) regressed (states/sec beyond %.0f%%, allocs/state beyond %.0f%%):\n",
 				len(regs), *tolerance*100, *allocTol*100)

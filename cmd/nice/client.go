@@ -97,6 +97,7 @@ func clientSubmit(args []string) {
 		scale    = fs.Int("scale", 0, "scenario scale (0 = default)")
 		strategy = fs.String("strategy", "", "search strategy (pkt-seq, no-delay, flow-ir, unusual)")
 		fixed    = fs.Bool("fixed", false, "check the repaired application")
+		engine   = fs.String("engine", "", "search engine: "+engineNames()+" (empty = server default)")
 		workers  = fs.Int("workers", 0, "engine workers (0 = server default)")
 		states   = fs.Int64("max-states", 0, "unique-state budget (0 = server default)")
 		trans    = fs.Int64("max-transitions", 0, "transition budget (0 = server default)")
@@ -114,6 +115,7 @@ func clientSubmit(args []string) {
 		Scale:          *scale,
 		Strategy:       *strategy,
 		Fixed:          *fixed,
+		Engine:         *engine,
 		Workers:        *workers,
 		MaxStates:      *states,
 		MaxTransitions: *trans,

@@ -10,17 +10,21 @@
 //	nice -scenario pingpong -pings 3 -workers 8   # parallel search
 //	nice -scenario pingpong -pings 3 -reduction dpor   # partial-order reduction
 //	nice -scenario bug-ix -mode walk -walks 100 -steps 50 -seed 7
+//	nice -scenario pingpong-se -engine concolic -sym-workers 4
 //	nice -scenario pingpong -pings 4 -timeout 2s -progress 500ms
 //	nice -scenario pingpong -pings 4 -max-states 5000
-//	nice -list                            # enumerate scenarios
+//	nice -list                            # enumerate scenarios, engines, reductions
 //
 // Every search runs through nice.Run: -workers selects the parallel
 // work-stealing engine (0 = all CPUs; the default 1 runs the
 // sequential reference checker), -mode walk selects the seeded swarm,
-// and -timeout/-max-states/-max-transitions bound the search. With
-// -progress, streaming snapshots (states/sec, frontier, depth) print
-// to stderr as the search runs, and violations print as they are
-// found.
+// -engine picks any registered engine by name (-list enumerates them
+// from the registry; "concolic" runs the model-checking × symbolic-
+// execution feedback loop, with -sym-budget/-sym-workers bounding and
+// sizing its solver side), and -timeout/-max-states/-max-transitions
+// bound the search. With -progress, streaming snapshots (states/sec,
+// frontier, depth) print to stderr as the search runs, and violations
+// print as they are found.
 //
 // With -metrics-addr the process serves live introspection while the
 // search runs (/metrics and /trace as JSON, /debug/vars, /debug/pprof);
@@ -255,7 +259,10 @@ func runOne() {
 		sends     = flag.Int("sends", 0, "scale for the bench scenarios (0 = scenario default)")
 		scale     = flag.Int("scale", 0, "scale for any scenario's knob (see -list; 0 = scenario default)")
 		mode      = flag.String("mode", "check", "check (full search) or walk (random walks)")
-		reduction = flag.String("reduction", "none", "interleaving reduction: none or dpor (exhaustive engines only)")
+		engine    = flag.String("engine", "", "search engine: "+engineNames()+" (default inferred from -mode/-workers)")
+		reduction = flag.String("reduction", "none", "interleaving reduction: "+reductionNames()+" (exhaustive engines only)")
+		symBudget = flag.Int64("sym-budget", 0, "concolic loop: abort after this many symbolic discover explorations (0 = unbounded)")
+		symPool   = flag.Int("sym-workers", 0, "concolic loop: solver worker pool size (0 = default)")
 		seed      = flag.Int64("seed", 1, "random-walk seed")
 		walks     = flag.Int("walks", 50, "number of random walks")
 		steps     = flag.Int("steps", 100, "max transitions per walk")
@@ -281,6 +288,14 @@ func runOne() {
 				name += fmt.Sprintf(" (-%s N)", sc.ScaleName)
 			}
 			fmt.Printf("  %-24s %s\n", name, sc.Summary)
+		}
+		fmt.Println("\nengines (-engine):")
+		for _, spec := range nice.EngineSpecs() {
+			fmt.Printf("  %-24s %s\n", spec.Name, spec.Summary)
+		}
+		fmt.Println("\nreductions (-reduction):")
+		for _, spec := range nice.ReductionSpecs() {
+			fmt.Printf("  %-24s %s\n", spec.Name, spec.Summary)
 		}
 		return
 	}
@@ -308,13 +323,25 @@ func runOne() {
 		fmt.Fprintf(os.Stderr, "nice: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-	switch strings.ToLower(*reduction) {
-	case "", "none":
-	case "dpor":
-		opts = append(opts, nice.WithReduction(nice.DPOR))
-	default:
-		fmt.Fprintf(os.Stderr, "nice: unknown reduction %q (none or dpor)\n", *reduction)
+	if *engine != "" {
+		spec, ok := nice.LookupEngine(*engine)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nice: unknown engine %q (%s)\n", *engine, engineNames())
+			os.Exit(2)
+		}
+		opts = append(opts, nice.WithEngine(spec.New()))
+	}
+	if *symBudget > 0 {
+		opts = append(opts, nice.WithSymBudget(*symBudget))
+	}
+	if *symPool > 0 {
+		opts = append(opts, nice.WithSymWorkers(*symPool))
+	}
+	if red, ok := nice.ParseReduction(*reduction); !ok {
+		fmt.Fprintf(os.Stderr, "nice: unknown reduction %q (%s)\n", *reduction, reductionNames())
 		os.Exit(2)
+	} else if red != nice.NoReduction {
+		opts = append(opts, nice.WithReduction(red))
 	}
 	if *maxTrans > 0 {
 		opts = append(opts, nice.WithMaxTransitions(*maxTrans))
@@ -443,4 +470,23 @@ func parseStrategy(strategy string) (scenarios.Strategy, error) {
 		return 0, fmt.Errorf("unknown strategy %q", strategy)
 	}
 	return s, nil
+}
+
+// engineNames / reductionNames render the registries for usage text —
+// the same single source of truth the facade and service validate
+// against, so the CLI's help can never drift from what Run accepts.
+func engineNames() string {
+	var names []string
+	for _, spec := range nice.EngineSpecs() {
+		names = append(names, spec.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+func reductionNames() string {
+	var names []string
+	for _, spec := range nice.ReductionSpecs() {
+		names = append(names, spec.Name)
+	}
+	return strings.Join(names, ", ")
 }

@@ -73,6 +73,10 @@ type Suite struct {
 	// -dpor), so the same JSON artifact records the states-explored
 	// savings CI gates on.
 	Dpor []DporResult `json:"dpor,omitempty"`
+	// Concolic holds the eager-vs-feedback-loop comparison results
+	// (nice-bench -concolic): packet-class coverage, violation parity
+	// and loop throughput, gated in CI like the DPOR savings.
+	Concolic []ConcolicResult `json:"concolic,omitempty"`
 }
 
 // Options tunes a harness run.

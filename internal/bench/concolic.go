@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"context"
+
+	"github.com/nice-go/nice/internal/concolic"
+	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice/scenarios"
+)
+
+// The concolic comparison suite: each workload is searched twice from
+// cold caches — the eager reference DFS, then the concolic feedback
+// loop — and the packet/stats-class inventories are compared. The loop
+// must keep violation parity (it explores the same state graph; demand
+// discovery is merely deferred to its solver pool) while discovering
+// strictly more classes: its feedback rounds proactively explore the
+// packet_in handlers of hosts that never send at the states where
+// eager discovery would trigger, e.g. the echo server in pingpong-se
+// or the replicas behind the load balancer. The gated workloads are
+// the SE-enabled registry scenarios, where that coverage difference is
+// structural, not incidental.
+
+// ConcolicWorkload is one eager-vs-loop benchmark.
+type ConcolicWorkload struct {
+	Name string
+	// Gate marks workloads the CI concolic gate counts.
+	Gate  bool
+	Build func() *core.Config
+}
+
+// ConcolicWorkloads is the comparison suite, resolved in the scenario
+// registry like every other bench workload.
+func ConcolicWorkloads() []ConcolicWorkload {
+	se := func(name string, scale int) func() *core.Config {
+		return func() *core.Config {
+			cfg := scenarios.MustLookup(name).Config(scale)
+			cfg.StopAtFirstViolation = false
+			return cfg
+		}
+	}
+	return []ConcolicWorkload{
+		{Name: "concolic/pingpong-se", Gate: true, Build: se("pingpong-se", 0)},
+		{Name: "concolic/loadbalancer", Gate: true, Build: se("loadbalancer-bench", 3)},
+		{Name: "concolic/pyswitch", Gate: true, Build: se("pyswitch-bench", 3)},
+	}
+}
+
+// ConcolicResult is one eager-vs-loop measurement.
+type ConcolicResult struct {
+	Name string `json:"name"`
+	// Gate marks results the concolic gate counts.
+	Gate        bool  `json:"gate"`
+	EagerStates int64 `json:"eager_states"`
+	LoopStates  int64 `json:"loop_states"`
+	// EagerClasses / LoopClasses are the packet+stats equivalence
+	// classes each search discovered from cold caches; the gate
+	// requires Loop > Eager on gated workloads.
+	EagerClasses   int64 `json:"eager_classes"`
+	LoopClasses    int64 `json:"loop_classes"`
+	FeedbackRounds int64 `json:"feedback_rounds"`
+	// WallMS / ClassesPerSec / StatesPerSec measure the loop run only
+	// (the eager run is the coverage baseline, not the perf subject);
+	// ClassesPerSec is the throughput metric the baseline gate tracks,
+	// falling back to StatesPerSec for workloads without classes.
+	WallMS        float64 `json:"wall_ms"`
+	ClassesPerSec float64 `json:"classes_per_sec"`
+	StatesPerSec  float64 `json:"states_per_sec"`
+	// ParityOK reports whether both searches violated the same
+	// (property, error) set — the loop's soundness oracle.
+	ParityOK bool `json:"parity_ok"`
+}
+
+// RunConcolic measures the whole comparison suite.
+func RunConcolic(workers int) []ConcolicResult {
+	var out []ConcolicResult
+	for _, w := range ConcolicWorkloads() {
+		out = append(out, runConcolicOne(w, workers))
+	}
+	return out
+}
+
+func runConcolicOne(w ConcolicWorkload, workers int) ConcolicResult {
+	ccEager := core.NewCaches()
+	eager := core.NewCheckerWith(w.Build(), ccEager).Run()
+
+	ccLoop := core.NewCaches()
+	loop, wall, _, _ := measure(func() *core.Report {
+		return concolic.Loop().Search(context.Background(), w.Build(),
+			core.EngineOptions{Caches: ccLoop, Workers: workers, SymWorkers: 2})
+	})
+
+	res := ConcolicResult{
+		Name: w.Name, Gate: w.Gate,
+		EagerStates: eager.UniqueStates, LoopStates: loop.UniqueStates,
+		EagerClasses: ccEager.Classes(), LoopClasses: ccLoop.Classes(),
+		FeedbackRounds: loop.FeedbackRounds,
+		WallMS:         float64(wall.Microseconds()) / 1000,
+		ParityOK:       sameViolations(eager, loop),
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		res.ClassesPerSec = float64(res.LoopClasses) / secs
+		res.StatesPerSec = float64(res.LoopStates) / secs
+	}
+	return res
+}
+
+// ConcolicGate counts the gated workloads that kept violation parity
+// and discovered strictly more classes than the eager baseline,
+// returning the failures.
+func ConcolicGate(results []ConcolicResult) (passed int, failures []ConcolicResult) {
+	for _, r := range results {
+		if !r.Gate {
+			continue
+		}
+		if r.ParityOK && r.LoopClasses > r.EagerClasses {
+			passed++
+		} else {
+			failures = append(failures, r)
+		}
+	}
+	return passed, failures
+}
+
+// CompareConcolic gates the loop's throughput against a recorded
+// baseline: each gated baseline workload's classes/sec (states/sec for
+// class-free workloads) must not drop below (1 - tolerance) of the
+// baseline. A vanished workload is a regression; faster never is.
+func CompareConcolic(baseline, current *Suite, tolerance float64) []Regression {
+	cur := make(map[string]ConcolicResult, len(current.Concolic))
+	for _, r := range current.Concolic {
+		cur[r.Name] = r
+	}
+	rate := func(r ConcolicResult) float64 {
+		if r.LoopClasses > 0 {
+			return r.ClassesPerSec
+		}
+		return r.StatesPerSec
+	}
+	var regs []Regression
+	for _, b := range baseline.Concolic {
+		if !b.Gate || rate(b) <= 0 {
+			continue
+		}
+		c, ok := cur[b.Name]
+		if !ok {
+			regs = append(regs, Regression{Name: b.Name, Metric: "classes/sec", Baseline: rate(b)})
+			continue
+		}
+		ratio := rate(c) / rate(b)
+		if ratio < 1-tolerance {
+			regs = append(regs, Regression{
+				Name: b.Name, Metric: "classes/sec",
+				Baseline: rate(b), Current: rate(c), Ratio: ratio,
+			})
+		}
+	}
+	return regs
+}

@@ -1,0 +1,655 @@
+// Package concolic is the fifth search engine: the paper's full
+// model-checking × symbolic-execution feedback loop (§3, Figure 1), run
+// as one concurrent fixpoint computation instead of symbolic execution
+// buried inside individual discover transitions.
+//
+// Two worker pools share a pair of worklists:
+//
+//   - search workers pop state-space nodes (a forked core.System plus
+//     the replayable path prefix that reached it) and expand them
+//     exactly like the parallel engine — every state once, properties
+//     on every transition and at quiescence;
+//   - solver workers pop symbolic targets: demand targets (a pending
+//     discover transition whose packet or stats classes must be solved
+//     before the search can continue past that state) and proactive
+//     targets (hosts whose packet_in handler has never been explored
+//     against a newly reached controller state).
+//
+// The two directions feed each other until fixpoint or budget: every
+// solved packet class re-enters the search as new host-send transitions
+// (solver → search), and every novel controller-application state the
+// search reaches enqueues fresh symbolic targets for the hosts whose
+// handler paths it might change (search → solver; one feedback round
+// per novel state, Report.FeedbackRounds). Proactive targets are what
+// make the loop discover a strict superset of the eager engines'
+// packet classes: eager discovery only runs for hosts that can send at
+// the state demanding it, so handler paths reachable only from
+// never-sending hosts (a server behind a load balancer, say) are never
+// explored eagerly.
+//
+// Solver results are memoized two ways, both keyed by 128-bit digests
+// in the shared core.Caches LRU: whole discover results under the
+// (host, location, app-digest) key the eager engines already use, and
+// individual solver outcomes under the digest of the finite-domain
+// problem (sym.ProblemKey), so overlapping path conditions across
+// controller states skip straight to the model.
+//
+// EngineOptions.SymBudget bounds the loop's discover explorations:
+// when it runs out while a state still demands discovery the search
+// aborts with core.StopSymBudget (a partial, replayable report);
+// proactive targets are simply dropped. SymWorkers sizes the solver
+// pool. Reduction is accepted and ignored, like the walk engines: the
+// loop's frontier interleaves search and solving, and the sleep-set
+// machinery assumes the expansion order of the systematic engines.
+package concolic
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nice-go/nice/internal/canon"
+	"github.com/nice-go/nice/internal/core"
+	"github.com/nice-go/nice/internal/telemetry"
+	"github.com/nice-go/nice/openflow"
+)
+
+func init() {
+	core.RegisterEngine(core.EngineSpec{
+		Name:    "concolic",
+		Summary: "model-checking × symbolic-execution feedback loop (§3, Fig. 1)",
+		New:     Loop,
+	})
+}
+
+// Loop returns the concolic feedback-loop engine as a core.Engine.
+func Loop() core.Engine { return loopEngine{} }
+
+type loopEngine struct{}
+
+// Name implements core.Engine.
+func (loopEngine) Name() string { return "concolic" }
+
+// stopReasons indexes the loop's first-wins stop reason (0 = none).
+var stopReasons = [...]core.StopReason{
+	core.StopNone, core.StopViolation, core.StopMaxTransitions,
+	core.StopMaxStates, core.StopDeadline, core.StopCanceled,
+	core.StopSymBudget,
+}
+
+func reasonIndex(r core.StopReason) int32 {
+	for i, s := range stopReasons {
+		if s == r {
+			return int32(i)
+		}
+	}
+	return 0
+}
+
+// pathNode is one link of a replayable trace prefix, shared structurally
+// between sibling nodes (the parallel engine's representation).
+type pathNode struct {
+	t      core.Transition
+	parent *pathNode
+	depth  int
+}
+
+func (p *pathNode) trace() []core.Transition {
+	if p == nil {
+		return nil
+	}
+	out := make([]core.Transition, p.depth)
+	for n := p; n != nil; n = n.parent {
+		out[n.depth-1] = n.t
+	}
+	return out
+}
+
+func (p *pathNode) traceWith(t core.Transition) []core.Transition {
+	depth := 0
+	if p != nil {
+		depth = p.depth
+	}
+	out := make([]core.Transition, depth+1)
+	out[depth] = t
+	for n := p; n != nil; n = n.parent {
+		out[n.depth-1] = n.t
+	}
+	return out
+}
+
+// item is one unit of work on either worklist. A search item carries
+// only sys+path. A demand item additionally carries the discover
+// transition to apply; a proactive item carries the host whose packet
+// classes should be explored against sys's controller state.
+type item struct {
+	sys  *core.System
+	path *pathNode
+
+	t         core.Transition // demand discover transition
+	demand    bool
+	host      openflow.HostID // proactive target
+	proactive bool
+}
+
+func (it item) depth() int {
+	if it.path == nil {
+		return 0
+	}
+	return it.path.depth
+}
+
+// loopState is the shared state of one Search call.
+type loopState struct {
+	cfg *core.Config
+	cc  *core.Caches
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	searchQ []item // LIFO: owners keep expanding deep states
+	symQ    []item // demand targets at the front, proactive behind
+	pending int    // queued + in-flight items
+	stopped bool
+	stop    atomic.Bool // lock-free mirror of stopped for hot-path checks
+
+	seen     map[canon.Digest]bool
+	seenApps map[canon.Digest]bool
+	seenViol map[string]bool
+	viols    []core.Violation
+
+	reason atomic.Int32 // index into stopReasons, first writer wins
+
+	transitions atomic.Int64
+	unique      atomic.Int64
+	revisits    atomic.Int64
+	truncated   atomic.Int64
+	maxDepth    atomic.Int64
+	frontier    atomic.Int64 // mirror of pending for lock-free snapshots
+	feedback    atomic.Int64
+
+	maxTrans  int64
+	maxStates int64
+	symBudget int64
+	seStart   int64
+
+	obs      core.Observer
+	tel      *core.SearchTelemetry
+	fbRounds *telemetry.Counter // sym scope's feedback_rounds
+	heap     core.HeapPeak      // sampled only from the snapshot goroutine
+}
+
+// abort records the stop reason (first one wins) and wakes every
+// worker. Unlike the budget reasons, a first-violation stop leaves the
+// report complete — the search did its job.
+func (st *loopState) abort(r core.StopReason) {
+	st.reason.CompareAndSwap(0, reasonIndex(r))
+	st.stop.Store(true)
+	st.mu.Lock()
+	st.stopped = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+func (st *loopState) stopReason() core.StopReason {
+	return stopReasons[st.reason.Load()]
+}
+
+// enqueueSearch pushes a state-space node.
+func (st *loopState) enqueueSearch(it item) {
+	st.mu.Lock()
+	st.searchQ = append(st.searchQ, it)
+	st.pending++
+	st.frontier.Store(int64(st.pending))
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// enqueueSym pushes a symbolic target; demand targets jump the queue —
+// they gate search progress, proactive ones only add coverage.
+func (st *loopState) enqueueSym(it item) {
+	st.mu.Lock()
+	if it.demand {
+		st.symQ = append([]item{it}, st.symQ...)
+	} else {
+		st.symQ = append(st.symQ, it)
+	}
+	st.pending++
+	st.frontier.Store(int64(st.pending))
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// take pops one work item for a pool (solver workers drain symQ,
+// search workers drain searchQ LIFO). It blocks until work of the
+// pool's kind arrives, the whole loop drains (pending 0), or the
+// search stops; ok=false means the worker should exit.
+func (st *loopState) take(solver bool) (item, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.stopped {
+			return item{}, false
+		}
+		if solver && len(st.symQ) > 0 {
+			it := st.symQ[0]
+			st.symQ = st.symQ[1:]
+			return it, true
+		}
+		if !solver && len(st.searchQ) > 0 {
+			it := st.searchQ[len(st.searchQ)-1]
+			st.searchQ = st.searchQ[:len(st.searchQ)-1]
+			return it, true
+		}
+		if st.pending == 0 {
+			return item{}, false
+		}
+		st.cond.Wait()
+	}
+}
+
+// done retires one in-flight item; the last one wakes every waiter so
+// the pools can drain.
+func (st *loopState) done() {
+	st.mu.Lock()
+	st.pending--
+	st.frontier.Store(int64(st.pending))
+	if st.pending == 0 {
+		st.cond.Broadcast()
+	}
+	st.mu.Unlock()
+}
+
+// record registers a violation (deduplicated by property + error, like
+// every engine) and honors StopAtFirstViolation.
+func (st *loopState) record(v core.Violation) {
+	key := v.Property + "|" + v.Err.Error()
+	st.mu.Lock()
+	fresh := !st.seenViol[key]
+	if fresh {
+		st.seenViol[key] = true
+		st.viols = append(st.viols, v)
+	}
+	st.mu.Unlock()
+	if fresh {
+		st.tel.Violation(v.Property)
+		if st.obs != nil {
+			st.obs.OnViolation(v)
+		}
+	}
+	if st.cfg.StopAtFirstViolation {
+		st.abort(core.StopViolation)
+	}
+}
+
+// symAllowed reports whether the discover budget still has room. The
+// check-then-run window means concurrent solver workers can overshoot
+// by at most the pool size — the same slack the parallel engine's
+// MaxStates bound accepts.
+func (st *loopState) symAllowed() bool {
+	return st.symBudget <= 0 || st.cc.SERuns()-st.seStart < st.symBudget
+}
+
+// reserveTransition claims one transition-budget slot, aborting with
+// StopMaxTransitions when the bound is exhausted (exact even under
+// racing workers: the slot is reserved before the apply and rolled
+// back on overshoot).
+func (st *loopState) reserveTransition() bool {
+	if n := st.transitions.Add(1); st.maxTrans > 0 && n > st.maxTrans {
+		st.transitions.Add(-1)
+		st.abort(core.StopMaxTransitions)
+		return false
+	}
+	return true
+}
+
+// admit pushes a freshly applied child into the search frontier if its
+// state is new, releasing it otherwise. Violating children are pruned
+// (recorded by the caller), matching every engine's semantics.
+func (st *loopState) admit(child *core.System, parent *pathNode, t core.Transition) {
+	depth := 1
+	if parent != nil {
+		depth = parent.depth + 1
+	}
+	h := child.Fingerprint()
+	st.mu.Lock()
+	fresh := !st.seen[h]
+	if fresh {
+		st.seen[h] = true
+	}
+	st.mu.Unlock()
+	if !fresh {
+		st.revisits.Add(1)
+		child.Release()
+		return
+	}
+	if n := st.unique.Add(1); st.maxStates > 0 && n >= st.maxStates {
+		st.abort(core.StopMaxStates)
+	}
+	st.tel.ObserveDepth(depth)
+	maxInt64(&st.maxDepth, int64(depth))
+	st.enqueueSearch(item{sys: child, path: &pathNode{t: t, parent: parent, depth: depth}})
+}
+
+// maxInt64 lifts v into the atomic maximum.
+func maxInt64(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Search implements core.Engine.
+func (loopEngine) Search(ctx context.Context, cfg *core.Config, eo core.EngineOptions) *core.Report {
+	start := time.Now()
+	cc := eo.CacheSet()
+	st := &loopState{
+		cfg:       cfg,
+		cc:        cc,
+		seen:      make(map[canon.Digest]bool),
+		seenApps:  make(map[canon.Digest]bool),
+		seenViol:  make(map[string]bool),
+		maxTrans:  eo.EffectiveMaxTransitions(cfg),
+		maxStates: eo.MaxStates,
+		symBudget: eo.SymBudget,
+		seStart:   cc.SERuns(),
+		obs:       eo.Observer,
+		tel:       core.NewSearchTelemetry(eo.Telemetry, "concolic"),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	cc.AttachTelemetry(eo.Telemetry)
+	if eo.Telemetry != nil {
+		st.fbRounds = eo.Telemetry.Scope("sym").Counter("feedback_rounds")
+	}
+
+	searchWorkers := eo.Workers
+	if searchWorkers <= 0 {
+		searchWorkers = runtime.NumCPU()
+	}
+	solverWorkers := eo.SolverPool()
+
+	root := core.NewSystemWith(cfg, cc)
+	root.SetTelemetry(core.NewSystemTelemetry(eo.Telemetry))
+	st.mu.Lock()
+	st.seen[root.Fingerprint()] = true
+	st.mu.Unlock()
+	st.unique.Add(1)
+	st.enqueueSearch(item{sys: root})
+
+	// Context watcher: aborts on cancellation/deadline, stopped once the
+	// pools drain. A pre-canceled context never starts exploring.
+	unwatch := func() {}
+	if ctx.Done() != nil {
+		select {
+		case <-ctx.Done():
+			st.abort(core.ContextStopReason(ctx))
+		default:
+			watchDone := make(chan struct{})
+			go func() {
+				select {
+				case <-ctx.Done():
+					st.abort(core.ContextStopReason(ctx))
+				case <-watchDone:
+				}
+			}()
+			unwatch = func() { close(watchDone) }
+		}
+	}
+
+	snap := func() core.Progress {
+		return core.Progress{
+			Strategy:      "concolic",
+			Elapsed:       time.Since(start),
+			Transitions:   st.transitions.Load(),
+			UniqueStates:  st.unique.Load(),
+			Revisits:      st.revisits.Load(),
+			Truncated:     st.truncated.Load(),
+			SERuns:        cc.SERuns(),
+			Frontier:      st.frontier.Load(),
+			Depth:         int(st.maxDepth.Load()),
+			PeakHeapInUse: st.heap.Sample(),
+			CacheHitRate:  cc.HitRate(),
+		}.Rated()
+	}
+	st.tel.SearchStart()
+	stopProgress := startProgress(eo, st.tel, snap)
+
+	var wg sync.WaitGroup
+	for w := 0; w < searchWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				it, ok := st.take(false)
+				if !ok {
+					return
+				}
+				st.expand(it)
+				it.sys.Release()
+				st.done()
+			}
+		}()
+	}
+	for w := 0; w < solverWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				it, ok := st.take(true)
+				if !ok {
+					return
+				}
+				st.solve(it)
+				st.done()
+			}
+		}()
+	}
+	wg.Wait()
+	unwatch()
+	// A cancellation racing the drain still wins over "complete" (the
+	// first recorded reason is kept otherwise).
+	if ctx.Err() != nil {
+		st.abort(core.ContextStopReason(ctx))
+	}
+
+	reason := st.stopReason()
+	report := &core.Report{
+		Transitions:    st.transitions.Load(),
+		UniqueStates:   st.unique.Load(),
+		Revisits:       st.revisits.Load(),
+		Truncated:      st.truncated.Load(),
+		SERuns:         cc.SERuns(),
+		PacketClasses:  cc.Classes(),
+		FeedbackRounds: st.feedback.Load(),
+		Violations:     st.viols,
+		Elapsed:        time.Since(start),
+		Complete:       !reason.Partial(),
+		Strategy:       "concolic",
+		StopReason:     reason,
+	}
+	stopProgress()
+	if reason.Partial() {
+		st.tel.Budget(reason, report.Transitions)
+	}
+	st.tel.SearchStop(reason, report)
+	return report
+}
+
+// startProgress mirrors the parallel engine's single-ticker streaming:
+// the returned func joins the goroutine and emits the Final snapshot
+// last.
+func startProgress(eo core.EngineOptions, tel *core.SearchTelemetry,
+	snap func() core.Progress) func() {
+	if eo.Observer == nil && tel == nil {
+		return func() {}
+	}
+	emit := func(final bool) {
+		p := snap()
+		p.Final = final
+		tel.SyncProgress(p)
+		if eo.Observer != nil {
+			eo.Observer.OnProgress(p)
+		}
+	}
+	done := make(chan struct{})
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		ticker := time.NewTicker(eo.ProgressInterval())
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				emit(false)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-idle
+		emit(true)
+	}
+}
+
+// expand processes one state-space node: quiescence properties on dead
+// ends, depth truncation, then one clone+apply per enabled transition —
+// except discover transitions, which are handed to the solver pool as
+// demand targets (the search side never blocks on symbolic execution).
+// Before expanding, a novel controller-application state opens one
+// feedback round: every host whose packet classes are not yet memoized
+// against it becomes a proactive symbolic target.
+func (st *loopState) expand(it item) {
+	st.feedbackTargets(it)
+
+	enabled := it.sys.EnabledInto(nil)
+	if len(enabled) == 0 {
+		for _, f := range it.sys.CheckQuiescence() {
+			st.record(core.Violation{Property: f.Property, Err: f.Err,
+				Trace: it.path.trace(), Quiescence: true})
+		}
+		return
+	}
+	depth := it.depth()
+	if depth >= st.cfg.DepthBound() {
+		st.truncated.Add(1)
+		return
+	}
+
+	var events []core.Event
+	for _, t := range enabled {
+		if st.stop.Load() {
+			return
+		}
+		if t.Kind == core.THostDiscover || t.Kind == core.TCtrlDiscoverStats {
+			// Demand target: the discover transition is itself the
+			// symbolic job. The solver worker applies it (running or
+			// recalling the exploration) and feeds the resulting state
+			// back into this frontier.
+			st.enqueueSym(item{sys: it.sys.Clone(), path: it.path, t: t, demand: true})
+			continue
+		}
+		if !st.reserveTransition() {
+			return
+		}
+		child := it.sys.Clone()
+		events = child.ApplyInto(t, events)
+		violated := false
+		for _, f := range child.CheckEvents(events) {
+			st.record(core.Violation{Property: f.Property, Err: f.Err,
+				Trace: it.path.traceWith(t)})
+			violated = true
+		}
+		if violated {
+			child.Release()
+			continue
+		}
+		st.admit(child, it.path, t)
+	}
+}
+
+// feedbackTargets opens a feedback round when the node carries a novel
+// controller-application state: each host whose discover results are
+// not yet memoized against it is enqueued as a proactive symbolic
+// target (on a private fork, so solver workers never share a System).
+func (st *loopState) feedbackTargets(it item) {
+	app := it.sys.AppDigest()
+	st.mu.Lock()
+	fresh := !st.seenApps[app]
+	if fresh {
+		st.seenApps[app] = true
+	}
+	st.mu.Unlock()
+	if !fresh {
+		return
+	}
+	round := false
+	for _, id := range it.sys.HostIDs() {
+		if it.sys.PacketClassesCached(id) {
+			continue
+		}
+		if !st.symAllowed() {
+			break // proactive coverage is best-effort under a budget
+		}
+		st.enqueueSym(item{sys: it.sys.Clone(), host: id, proactive: true})
+		round = true
+	}
+	if round {
+		st.feedback.Add(1)
+		if st.fbRounds != nil {
+			st.fbRounds.Inc()
+		}
+	}
+}
+
+// solve processes one symbolic target on a solver worker.
+func (st *loopState) solve(it item) {
+	defer it.sys.Release()
+	if st.stop.Load() {
+		return
+	}
+	if it.proactive {
+		if st.symAllowed() {
+			it.sys.DiscoverPacketClasses(it.host)
+		}
+		return
+	}
+	// Demand target: the exploration may already be memoized (another
+	// worker got there first) — then applying is free; otherwise the
+	// budget must cover a fresh discover run.
+	if !st.symAllowed() && !discoverCached(it.sys, it.t) {
+		st.abort(core.StopSymBudget)
+		return
+	}
+	if !st.reserveTransition() {
+		return
+	}
+	events := it.sys.ApplyInto(it.t, nil)
+	violated := false
+	for _, f := range it.sys.CheckEvents(events) {
+		st.record(core.Violation{Property: f.Property, Err: f.Err,
+			Trace: it.path.traceWith(it.t)})
+		violated = true
+	}
+	if violated {
+		return
+	}
+	// The solved classes seed a new search frontier: the post-discover
+	// state re-enters the worklist, where the host's sends (or the
+	// stats variants) are now enabled transitions.
+	child := it.sys.Clone()
+	st.admit(child, it.path, it.t)
+}
+
+// discoverCached reports whether a demand discover transition would be
+// answered from the memo (no fresh exploration needed).
+func discoverCached(sys *core.System, t core.Transition) bool {
+	if t.Kind == core.THostDiscover {
+		return sys.PacketClassesCached(t.Host)
+	}
+	return sys.StatsClassesCached(t.Sw)
+}

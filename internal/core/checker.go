@@ -48,6 +48,14 @@ type Report struct {
 	// SERuns counts concolic explorations (discover transitions that
 	// missed the cache).
 	SERuns int64
+	// PacketClasses counts the packet/stats equivalence classes the
+	// discover cache holds when the search ends (cumulative across runs
+	// sharing one Caches, like SERuns).
+	PacketClasses int64
+	// FeedbackRounds counts model-checking → symbolic-execution
+	// feedback rounds: controller states whose novelty enqueued fresh
+	// symbolic targets. Only the concolic loop sets it.
+	FeedbackRounds int64
 	// Violations lists the property failures found (deduplicated by
 	// property + error text; each carries the first trace seen).
 	Violations []Violation
@@ -180,6 +188,7 @@ func (c *Checker) RunContext(ctx context.Context, opts EngineOptions) *Report {
 	}
 
 	c.report.SERuns = c.caches.SERuns()
+	c.report.PacketClasses = c.caches.Classes()
 	c.report.Elapsed = time.Since(c.start)
 	c.report.StopReason = c.stopReason
 	// Final snapshot before SearchStop, so the trace stream ends on the

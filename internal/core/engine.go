@@ -28,13 +28,17 @@ const (
 	StopDeadline StopReason = "deadline"
 	// StopCanceled: the context was canceled.
 	StopCanceled StopReason = "canceled"
+	// StopSymBudget: the symbolic-execution budget ran out — a state
+	// needed a discover transition the concolic loop was no longer
+	// allowed to solve (EngineOptions.SymBudget).
+	StopSymBudget StopReason = "sym-budget"
 )
 
 // Partial reports whether the reason marks a budget- or
 // cancellation-aborted search (a partial, but still replayable, report).
 func (r StopReason) Partial() bool {
 	switch r {
-	case StopMaxTransitions, StopMaxStates, StopDeadline, StopCanceled:
+	case StopMaxTransitions, StopMaxStates, StopDeadline, StopCanceled, StopSymBudget:
 		return true
 	}
 	return false
@@ -154,6 +158,22 @@ type EngineOptions struct {
 	// systematic engines; walk engines ignore it (a random walk explores
 	// one interleaving, there is nothing to prune).
 	Reduction Reduction
+	// SymBudget bounds the concolic loop's symbolic-execution runs
+	// (discover explorations); 0 = unlimited. When the budget runs out
+	// while a state still demands discovery, the search aborts with
+	// StopSymBudget. Engines other than the concolic loop ignore it.
+	SymBudget int64
+	// SymWorkers sizes the concolic loop's solver-worker pool (0 = 2).
+	// Engines other than the concolic loop ignore it.
+	SymWorkers int
+}
+
+// SolverPool is the effective concolic solver-worker count.
+func (o EngineOptions) SolverPool() int {
+	if o.SymWorkers <= 0 {
+		return 2
+	}
+	return o.SymWorkers
 }
 
 // ProgressInterval is the effective snapshot interval.
@@ -348,6 +368,7 @@ walking:
 		abort(ContextStopReason(ctx))
 	}
 	report.SERuns = cc.SERuns()
+	report.PacketClasses = cc.Classes()
 	report.Elapsed = time.Since(start)
 	// Final snapshot before SearchStop, so the trace stream ends on the
 	// search-stop event.

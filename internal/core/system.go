@@ -47,6 +47,11 @@ type cacheNode struct {
 
 	packetsVal []openflow.Header
 	statsVal   [][]openflow.PortStats
+
+	// solModel/solSat memoize one solver outcome (the solutions map);
+	// solModel is immutable once stored.
+	solModel sym.Assignment
+	solSat   bool
 }
 
 // Caches hold the results of discover transitions. They are shared
@@ -71,10 +76,21 @@ type Caches struct {
 	mu      sync.RWMutex
 	packets map[packetsCacheKey]*cacheNode
 	stats   map[statsCacheKey]*cacheNode
-	seRuns  atomic.Int64 // concolic explorations performed
+	// solutions memoizes raw solver outcomes across explorations,
+	// keyed by the 128-bit digest of the finite-domain problem
+	// (sym.ProblemKey) — the same keying discipline as the discover
+	// maps, under the same LRU bound.
+	solutions map[canon.Digest]*cacheNode
+	seRuns    atomic.Int64 // concolic explorations performed
+	// classes counts discovered equivalence classes (packet headers +
+	// stats vectors) inserted into the memo, cumulatively — eviction
+	// never decrements it, so it is a monotone discovery counter, not
+	// an occupancy gauge.
+	classes atomic.Int64
 
-	// capacity bounds len(packets)+len(stats); 0 = unbounded. clock is
-	// the logical LRU timestamp source (monotonic per lookup/insert).
+	// capacity bounds len(packets)+len(stats)+len(solutions); 0 =
+	// unbounded. clock is the logical LRU timestamp source (monotonic
+	// per lookup/insert).
 	capacity  int
 	clock     atomic.Int64
 	evictions atomic.Int64
@@ -83,6 +99,22 @@ type Caches struct {
 	// mid-lifetime (campaigns share one Caches across concurrent jobs).
 	// Nil means disabled: the lookup paths pay one atomic load.
 	tel atomic.Pointer[cacheTelemetry]
+	// sym is the optional symbolic-execution instrumentation ("sym"
+	// scope), attached alongside tel by AttachTelemetry.
+	sym atomic.Pointer[symTelemetry]
+}
+
+// symTelemetry is the symbolic-execution metric bundle ("sym" scope):
+// the concolic loop's observability surface. All counters are monotone.
+type symTelemetry struct {
+	explorations *telemetry.Counter // discover runs (= SERuns delta)
+	paths        *telemetry.Counter // distinct feasible handler paths
+	solverCalls  *telemetry.Counter // solver invocations (memo included)
+	solverSat    *telemetry.Counter
+	solverUnsat  *telemetry.Counter
+	memoHits     *telemetry.Counter // solver calls answered by the memo
+	memoMisses   *telemetry.Counter
+	classes      *telemetry.Counter // equivalence classes discovered
 }
 
 // cacheTelemetry is the discover-cache metric bundle ("cache" scope).
@@ -110,6 +142,23 @@ func (c *Caches) AttachTelemetry(reg *telemetry.Registry) {
 		evictions:     sc.Counter("evictions"),
 		scope:         sc,
 	})
+	ss := reg.Scope("sym")
+	st := &symTelemetry{
+		explorations: ss.Counter("explorations"),
+		paths:        ss.Counter("paths"),
+		solverCalls:  ss.Counter("solver_calls"),
+		solverSat:    ss.Counter("solver_sat"),
+		solverUnsat:  ss.Counter("solver_unsat"),
+		memoHits:     ss.Counter("memo_hits"),
+		memoMisses:   ss.Counter("memo_misses"),
+		classes:      ss.Counter("classes"),
+	}
+	// Registry counters survive re-attachment; seed the monotone
+	// discovery counters from the cache's own atomics so a registry
+	// attached mid-lifetime still reports totals.
+	st.explorations.Store(c.seRuns.Load())
+	st.classes.Store(c.classes.Load())
+	c.sym.Store(st)
 }
 
 // HitCounts reports discover-cache lookup hits and misses since
@@ -147,13 +196,14 @@ func (c *Caches) HitRate() float64 {
 // of wholesale flushes.
 func (c *Caches) Prune(max int) int {
 	c.mu.Lock()
-	n := len(c.packets) + len(c.stats)
+	n := len(c.packets) + len(c.stats) + len(c.solutions)
 	if n <= max {
 		c.mu.Unlock()
 		return 0
 	}
 	c.packets = make(map[packetsCacheKey]*cacheNode)
 	c.stats = make(map[statsCacheKey]*cacheNode)
+	c.solutions = make(map[canon.Digest]*cacheNode)
 	c.evictions.Add(int64(n))
 	c.mu.Unlock()
 	if t := c.tel.Load(); t != nil {
@@ -163,11 +213,12 @@ func (c *Caches) Prune(max int) int {
 	return n
 }
 
-// Len is the total entry count across both memo maps.
+// Len is the total entry count across the memo maps (discover results
+// and memoized solver outcomes).
 func (c *Caches) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.packets) + len(c.stats)
+	return len(c.packets) + len(c.stats) + len(c.solutions)
 }
 
 // Evictions counts entries dropped so far by Prune and by the
@@ -219,30 +270,44 @@ func (c *Caches) touch(n *cacheNode) { n.used.Store(c.clock.Add(1)) }
 // and reports the count to telemetry after unlocking.
 func (c *Caches) evictOverCapacityLocked() int64 {
 	var dropped int64
-	for c.capacity > 0 && len(c.packets)+len(c.stats) > c.capacity {
+	for c.capacity > 0 && len(c.packets)+len(c.stats)+len(c.solutions) > c.capacity {
+		const (
+			kindPackets = iota
+			kindStats
+			kindSolution
+		)
 		var (
-			oldest   int64
-			oldPkey  packetsCacheKey
-			oldSkey  statsCacheKey
-			oldStats bool
-			found    bool
+			oldest  int64
+			oldPkey packetsCacheKey
+			oldSkey statsCacheKey
+			oldDkey canon.Digest
+			kind    int
+			found   bool
 		)
 		for k, n := range c.packets {
 			if u := n.used.Load(); !found || u < oldest {
-				oldest, oldPkey, oldStats, found = u, k, false, true
+				oldest, oldPkey, kind, found = u, k, kindPackets, true
 			}
 		}
 		for k, n := range c.stats {
 			if u := n.used.Load(); !found || u < oldest {
-				oldest, oldSkey, oldStats, found = u, k, true, true
+				oldest, oldSkey, kind, found = u, k, kindStats, true
+			}
+		}
+		for k, n := range c.solutions {
+			if u := n.used.Load(); !found || u < oldest {
+				oldest, oldDkey, kind, found = u, k, kindSolution, true
 			}
 		}
 		if !found {
 			break
 		}
-		if oldStats {
+		switch kind {
+		case kindStats:
 			delete(c.stats, oldSkey)
-		} else {
+		case kindSolution:
+			delete(c.solutions, oldDkey)
+		default:
 			delete(c.packets, oldPkey)
 		}
 		dropped++
@@ -254,13 +319,145 @@ func (c *Caches) evictOverCapacityLocked() int64 {
 // NewCaches builds an empty, unbounded discover-cache set.
 func NewCaches() *Caches {
 	return &Caches{
-		packets: make(map[packetsCacheKey]*cacheNode),
-		stats:   make(map[statsCacheKey]*cacheNode),
+		packets:   make(map[packetsCacheKey]*cacheNode),
+		stats:     make(map[statsCacheKey]*cacheNode),
+		solutions: make(map[canon.Digest]*cacheNode),
 	}
 }
 
 // SERuns reports how many concolic explorations have been performed.
 func (c *Caches) SERuns() int64 { return c.seRuns.Load() }
+
+// Classes reports how many packet/stats equivalence classes discovery
+// has inserted into the memo so far (monotone; eviction does not
+// decrement it).
+func (c *Caches) Classes() int64 { return c.classes.Load() }
+
+// noteExploration counts one concolic discover run into SERuns and the
+// attached telemetry.
+func (c *Caches) noteExploration() {
+	c.seRuns.Add(1)
+	if st := c.sym.Load(); st != nil {
+		st.explorations.Inc()
+	}
+}
+
+// noteClasses counts freshly discovered equivalence classes into the
+// monotone counter and the attached telemetry.
+func (c *Caches) noteClasses(n int) {
+	if n <= 0 {
+		return
+	}
+	c.classes.Add(int64(n))
+	if st := c.sym.Load(); st != nil {
+		st.classes.Add(int64(n))
+	}
+}
+
+// DiscoveredClasses renders every memoized equivalence class as a
+// canonical string — packet classes as host/location/app-digest plus
+// the header, stats classes as switch/app-digest plus the vector. Two
+// cache sets over the same scenario are comparable as string sets: the
+// parity suites assert the concolic loop discovers a superset of the
+// eager engines' classes.
+func (c *Caches) DiscoveredClasses() map[string]bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]bool, len(c.packets)+len(c.stats))
+	for k, n := range c.packets {
+		prefix := fmt.Sprintf("pkt:h%d@%d.%d:%s:", int(k.host), int(k.loc.Sw), int(k.loc.Port), k.app.Hex())
+		for _, hdr := range n.packetsVal {
+			out[prefix+hdr.String()] = true
+		}
+	}
+	for k, n := range c.stats {
+		prefix := fmt.Sprintf("stats:sw%d:%s:", int(k.sw), k.app.Hex())
+		for _, v := range n.statsVal {
+			out[prefix+fmt.Sprintf("%v", v)] = true
+		}
+	}
+	return out
+}
+
+// getSolution looks up a memoized solver outcome.
+func (c *Caches) getSolution(key canon.Digest) (sym.Assignment, bool, bool) {
+	c.mu.RLock()
+	n, ok := c.solutions[key]
+	var (
+		model sym.Assignment
+		sat   bool
+	)
+	if ok {
+		model, sat = n.solModel, n.solSat
+		c.touch(n)
+	}
+	c.mu.RUnlock()
+	if st := c.sym.Load(); st != nil {
+		if ok {
+			st.memoHits.Inc()
+		} else {
+			st.memoMisses.Inc()
+		}
+	}
+	return model, sat, ok
+}
+
+// putSolution memoizes a solver outcome; the first writer wins.
+func (c *Caches) putSolution(key canon.Digest, model sym.Assignment, sat bool) {
+	c.mu.Lock()
+	if _, ok := c.solutions[key]; ok {
+		c.mu.Unlock()
+		return
+	}
+	n := &cacheNode{solModel: model, solSat: sat}
+	c.touch(n)
+	c.solutions[key] = n
+	dropped := c.evictOverCapacityLocked()
+	c.mu.Unlock()
+	c.noteEvictions(dropped, "lru")
+}
+
+// solverMemo adapts the Caches' solutions map to sym.Memo.
+type solverMemo struct{ cc *Caches }
+
+func (m solverMemo) Get(key canon.Digest) (sym.Assignment, bool, bool) {
+	return m.cc.getSolution(key)
+}
+
+func (m solverMemo) Put(key canon.Digest, model sym.Assignment, sat bool) {
+	m.cc.putSolution(key, model, sat)
+}
+
+// SolverMemo exposes the cache set's solver-solution memo for
+// sym.Explorer wiring.
+func (c *Caches) SolverMemo() sym.Memo { return solverMemo{cc: c} }
+
+// symHooks builds the Explorer instrumentation callbacks feeding the
+// "sym" scope. With no registry attached the counters are skipped, but
+// the hooks still fire (they are only constructed on discover paths,
+// which already dwarf two nil checks).
+func (c *Caches) symHooks() sym.Hooks {
+	return sym.Hooks{
+		Path: func() {
+			if st := c.sym.Load(); st != nil {
+				st.paths.Inc()
+			}
+		},
+		Solve: func(sat, memoHit bool) {
+			st := c.sym.Load()
+			if st == nil {
+				return
+			}
+			st.solverCalls.Inc()
+			if sat {
+				st.solverSat.Inc()
+			} else {
+				st.solverUnsat.Inc()
+			}
+			_ = memoHit // hit/miss is counted at the memo itself
+		},
+	}
+}
 
 func (c *Caches) getPackets(key packetsCacheKey) ([]openflow.Header, bool) {
 	c.mu.RLock()
@@ -295,6 +492,7 @@ func (c *Caches) putPackets(key packetsCacheKey, v []openflow.Header) []openflow
 	dropped := c.evictOverCapacityLocked()
 	c.mu.Unlock()
 	c.noteEvictions(dropped, "lru")
+	c.noteClasses(len(v))
 	return v
 }
 
@@ -329,6 +527,7 @@ func (c *Caches) putStats(key statsCacheKey, v [][]openflow.PortStats) [][]openf
 	dropped := c.evictOverCapacityLocked()
 	c.mu.Unlock()
 	c.noteEvictions(dropped, "lru")
+	c.noteClasses(len(v))
 	return v
 }
 
@@ -852,6 +1051,59 @@ func (s *System) appDigestFor(fresh bool) canon.Digest {
 // matching, §6); the explored-state sets use the raw Fingerprint.
 func (s *System) Hash() string { return s.Fingerprint().Hex() }
 
+// AppDigest is the 128-bit digest of the controller application's
+// canonical state — the discover-cache key component the concolic loop
+// uses to recognize novel controller states (its feedback signal).
+func (s *System) AppDigest() canon.Digest { return s.ctrl.AppKeyDigest() }
+
+// PacketClassesCached reports whether discover_packets results for host
+// id are already memoized at this state (always true with SE disabled —
+// there is nothing to discover).
+func (s *System) PacketClassesCached(id openflow.HostID) bool {
+	if s.cfg.DisableSE {
+		return true
+	}
+	h := s.Host(id)
+	if h == nil {
+		return true
+	}
+	_, ok := s.caches.getPackets(s.packetsKey(h))
+	return ok
+}
+
+// DiscoverPacketClasses runs (or recalls) discover_packets for host id
+// at this state, memoizing the result, and returns the number of packet
+// equivalence classes. The concolic loop calls it proactively for hosts
+// the eager engines never reach (hosts that cannot send at the states
+// where the controller state is fresh), which is how the loop explores
+// handler paths eager discovery misses. Discovery only reads the
+// system (handler effects land on a cloned application), so concurrent
+// calls are safe; racing writers agree via the first-writer-wins memo.
+func (s *System) DiscoverPacketClasses(id openflow.HostID) int {
+	if s.cfg.DisableSE {
+		return 0
+	}
+	h := s.Host(id)
+	if h == nil {
+		return 0
+	}
+	key := s.packetsKey(h)
+	if pkts, ok := s.caches.getPackets(key); ok {
+		return len(pkts)
+	}
+	return len(s.caches.putPackets(key, s.discoverPackets(h)))
+}
+
+// StatsClassesCached reports whether discover_stats results for switch
+// sw are already memoized at this state (always true with SE disabled).
+func (s *System) StatsClassesCached(sw openflow.SwitchID) bool {
+	if s.cfg.DisableSE {
+		return true
+	}
+	_, ok := s.caches.getStats(s.statsKey(sw))
+	return ok
+}
+
 func (s *System) packetsKey(h *hosts.Host) packetsCacheKey {
 	return packetsCacheKey{host: h.ID, loc: h.Loc, app: s.ctrl.AppKeyDigest()}
 }
@@ -1335,7 +1587,7 @@ func (s *System) drainControllerChannels(events *[]Event, boot bool) {
 // "new relevant packets". Handler effects land on a cloned application
 // and are discarded.
 func (s *System) discoverPackets(h *hosts.Host) []openflow.Header {
-	s.caches.seRuns.Add(1)
+	s.caches.noteExploration()
 	loc := h.Loc
 	seed := h.Seed
 	seedAsn := sym.SymbolicPacket(seed, loc.Port).CurrentAssignment()
@@ -1343,6 +1595,8 @@ func (s *System) discoverPackets(h *hosts.Host) []openflow.Header {
 		Domains:  s.cfg.fieldDomains(),
 		Bits:     s.cfg.fieldBits(),
 		MaxPaths: s.cfg.MaxSEPaths,
+		Memo:     s.caches.SolverMemo(),
+		Hooks:    s.caches.symHooks(),
 	}
 	// The reason code is a one-bit handler input that is not a packet
 	// field; explore the handler under both values and pool the
@@ -1375,7 +1629,7 @@ func (s *System) discoverPackets(h *hosts.Host) []openflow.Header {
 // with symbolic counters, returning one concrete stats vector per
 // feasible path (§3.3's discover_stats).
 func (s *System) discoverStats(swID openflow.SwitchID) [][]openflow.PortStats {
-	s.caches.seRuns.Add(1)
+	s.caches.noteExploration()
 	ports := s.Switch(swID).Ports
 	levels := s.cfg.statsLevels()
 	seedVals := make([]uint64, len(ports))
@@ -1391,7 +1645,11 @@ func (s *System) discoverStats(swID openflow.SwitchID) [][]openflow.PortStats {
 	for _, p := range ports {
 		domains[sym.StatVarName(p)] = levels
 	}
-	explorer := &sym.Explorer{Domains: domains, MaxPaths: s.cfg.MaxSEPaths, MineDomains: true}
+	explorer := &sym.Explorer{
+		Domains: domains, MaxPaths: s.cfg.MaxSEPaths, MineDomains: true,
+		Memo:  s.caches.SolverMemo(),
+		Hooks: s.caches.symHooks(),
+	}
 	results := explorer.Explore(seedAsn, func(tr *sym.Trace, asn sym.Assignment) {
 		st := sym.SymbolicStats(ports, seedVals)
 		st.ApplyAssignment(asn)

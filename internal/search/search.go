@@ -164,6 +164,19 @@ func (e *Engine) RunContext(ctx context.Context, eo core.EngineOptions) *core.Re
 	return e.runHybrid(ctx, eo)
 }
 
+func init() {
+	core.RegisterEngine(core.EngineSpec{
+		Name:    "parallel",
+		Summary: "work-stealing parallel full search (owners DFS, thieves BFS)",
+		New:     Parallel,
+	})
+	core.RegisterEngine(core.EngineSpec{
+		Name:    "swarm",
+		Summary: "parallel seeded random-walk swarm",
+		New:     SwarmEngine,
+	})
+}
+
 // Parallel returns the work-stealing Hybrid engine as a core.Engine:
 // worker count from EngineOptions.Workers (0 = all CPUs; 1 delegates to
 // the sequential checker).
@@ -371,16 +384,17 @@ func (e *Engine) runHybrid(ctx context.Context, eo core.EngineOptions) *core.Rep
 
 	reason := st.ctl.stopReason()
 	report := &core.Report{
-		Transitions:  st.transitions.Load(),
-		UniqueStates: st.unique.Load(),
-		Revisits:     st.revisits.Load(),
-		Truncated:    st.truncated.Load(),
-		SERuns:       e.caches.SERuns(),
-		Violations:   st.viols.violations(),
-		Elapsed:      time.Since(start),
-		Complete:     !reason.Partial(),
-		Strategy:     "parallel",
-		StopReason:   reason,
+		Transitions:   st.transitions.Load(),
+		UniqueStates:  st.unique.Load(),
+		Revisits:      st.revisits.Load(),
+		Truncated:     st.truncated.Load(),
+		SERuns:        e.caches.SERuns(),
+		PacketClasses: e.caches.Classes(),
+		Violations:    st.viols.violations(),
+		Elapsed:       time.Since(start),
+		Complete:      !reason.Partial(),
+		Strategy:      "parallel",
+		StopReason:    reason,
 	}
 	stopProgress()
 	if reason.Partial() {

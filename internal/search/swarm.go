@@ -97,14 +97,15 @@ func (e *Engine) runSwarm(ctx context.Context, eo core.EngineOptions) *core.Repo
 
 	reason := st.ctl.stopReason()
 	report := &core.Report{
-		Transitions:  st.transitions.Load(),
-		UniqueStates: st.unique.Load(),
-		SERuns:       e.caches.SERuns(),
-		Violations:   st.viols.violations(),
-		Elapsed:      time.Since(start),
-		Complete:     !reason.Partial(),
-		Strategy:     "swarm",
-		StopReason:   reason,
+		Transitions:   st.transitions.Load(),
+		UniqueStates:  st.unique.Load(),
+		SERuns:        e.caches.SERuns(),
+		PacketClasses: e.caches.Classes(),
+		Violations:    st.viols.violations(),
+		Elapsed:       time.Since(start),
+		Complete:      !reason.Partial(),
+		Strategy:      "swarm",
+		StopReason:    reason,
 	}
 	stopProgress()
 	if reason.Partial() {

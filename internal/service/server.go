@@ -9,6 +9,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	// Registers the concolic engine so jobs can request it by name;
+	// dfs/walks live in core and parallel/swarm register via the search
+	// import below.
+	_ "github.com/nice-go/nice/internal/concolic"
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/search"
 	"github.com/nice-go/nice/internal/telemetry"
@@ -415,6 +419,12 @@ func (s *Server) runJob(j *job) {
 	var engine core.Engine = core.DFS()
 	if eo.Workers > 1 {
 		engine = search.Parallel()
+	}
+	if j.req.Engine != "" {
+		// Validated at submission against the engine registry, so the
+		// lookup cannot miss here.
+		spec, _ := core.LookupEngine(j.req.Engine)
+		engine = spec.New()
 	}
 	timeout := s.opts.JobTimeout
 	if req := time.Duration(j.req.TimeoutMS) * time.Millisecond; req > 0 && (timeout == 0 || req < timeout) {

@@ -461,6 +461,9 @@ func TestServiceRejections(t *testing.T) {
 	if _, code, _ := trySubmit(t, ts, "", `{"scenario": "bug-ii", "strategy": "psychic"}`); code != 400 {
 		t.Errorf("unknown strategy: %d, want 400", code)
 	}
+	if _, code, msg := trySubmit(t, ts, "", `{"scenario": "bug-ii", "engine": "psychic"}`); code != 400 || !strings.Contains(msg, "engine") {
+		t.Errorf("unknown engine: %d %q — want the offending field named", code, msg)
+	}
 	resp, err := http.Get(ts.URL + "/v1/artifacts/" + strings.Repeat("zz", 32))
 	if err != nil {
 		t.Fatal(err)
@@ -468,6 +471,30 @@ func TestServiceRejections(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("invalid artifact id: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServiceConcolicEngine: a job can request the concolic loop by
+// name, and the search completes with the scenario's expected violation
+// — the engine axis rides the same streaming/result plumbing as the
+// default engines.
+func TestServiceConcolicEngine(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Workers: 1})
+	st := submit(t, ts, "", `{"scenario": "bug-ii", "engine": "concolic", "workers": 2}`)
+	events := collectStream(t, ts, st.ID)
+	last := events[len(events)-1]
+	if last.Type != "done" || last.Result == nil {
+		t.Fatalf("job did not finish done: %+v", last)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Type == "violation" && ev.Violation != nil &&
+			ev.Violation.Property == "StrictDirectPaths" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("concolic job streamed no StrictDirectPaths violation")
 	}
 }
 

@@ -36,6 +36,10 @@ type JobRequest struct {
 	Strategy string `json:"strategy,omitempty"`
 	Fixed    bool   `json:"fixed,omitempty"`
 
+	// Engine names a registered search engine ("" = the server default,
+	// the parallel hybrid). "concolic" runs the symbolic feedback loop.
+	Engine string `json:"engine,omitempty"`
+
 	// Workers sizes the engine worker pool (0 = server default).
 	Workers int `json:"workers,omitempty"`
 	// MaxStates / MaxTransitions / TimeoutMS bound the search. The
@@ -59,6 +63,12 @@ func (r *JobRequest) Validate() error {
 	}
 	if _, ok := scenarios.ParseStrategy(r.Strategy); !ok {
 		return fmt.Errorf("request: unknown strategy %q", r.Strategy)
+	}
+	if r.Engine != "" {
+		if _, ok := core.LookupEngine(r.Engine); !ok {
+			return fmt.Errorf("request: unknown engine %q (known: %v)",
+				r.Engine, core.EngineNames())
+		}
 	}
 	if r.Scale < 0 || r.Workers < 0 || r.MaxStates < 0 || r.MaxTransitions < 0 || r.TimeoutMS < 0 {
 		return errors.New("request: negative bound")

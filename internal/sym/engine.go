@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/nice-go/nice/internal/canon"
 )
 
 // Runner executes the code under test (a controller event handler) with
@@ -39,6 +41,39 @@ type Explorer struct {
 	// their topology-derived domains pure, as the paper's domain
 	// knowledge prescribes (§3.2).
 	MineDomains bool
+	// Memo, when non-nil, caches solver outcomes across explorations:
+	// the key digests the solved problem (merged candidate domains plus
+	// the path condition), the value is the raw model before
+	// total-ization, so one memo serves every concrete input that
+	// reaches the same branch flip. Solving is deterministic, so a
+	// memo shared across goroutines (core.Caches hosts one) only
+	// trades repeat solver work for a lookup.
+	Memo Memo
+	// Hooks receives per-path and per-solver-call notifications
+	// (telemetry). Zero-valued fields are no-ops.
+	Hooks Hooks
+}
+
+// Memo caches solver results keyed by the 128-bit digest of a
+// finite-domain problem — the same keying discipline as the discover
+// caches. Implementations must be safe for concurrent use. A stored
+// model must be treated as immutable by both sides.
+type Memo interface {
+	// Get returns the memoized model and satisfiability for key;
+	// present reports whether the key was found.
+	Get(key canon.Digest) (model Assignment, sat bool, present bool)
+	// Put memoizes one solver outcome; the first writer wins.
+	Put(key canon.Digest, model Assignment, sat bool)
+}
+
+// Hooks are the Explorer's optional instrumentation callbacks.
+type Hooks struct {
+	// Path fires once per distinct feasible path (equivalence class)
+	// discovered.
+	Path func()
+	// Solve fires once per solver invocation with the outcome and
+	// whether the memo answered it.
+	Solve func(sat, memoHit bool)
 }
 
 // Result is one discovered equivalence class: the satisfying assignment
@@ -83,6 +118,9 @@ func (e *Explorer) Explore(seed Assignment, run Runner) []Result {
 		}
 		seenPaths[pk] = true
 		results = append(results, Result{Assignment: asn.Clone(), PathKey: pk})
+		if e.Hooks.Path != nil {
+			e.Hooks.Path()
+		}
 
 		// Generational expansion: for each branch, keep the prefix and
 		// flip the branch itself.
@@ -147,7 +185,7 @@ func (e *Explorer) solve(constraints []Expr, current Assignment) (Assignment, bo
 		doms = append(doms, Domain{Var: v, Candidates: cands})
 	}
 
-	model, ok := Solve(Problem{Domains: doms, Constraints: constraints})
+	model, ok := e.solveMemoized(Problem{Domains: doms, Constraints: constraints})
 	if !ok {
 		return nil, false
 	}
@@ -157,6 +195,54 @@ func (e *Explorer) solve(constraints []Expr, current Assignment) (Assignment, bo
 		out[k] = v
 	}
 	return out, true
+}
+
+// solveMemoized answers a finite-domain problem through the memo when
+// one is attached, falling back to (and recording) a fresh Solve.
+func (e *Explorer) solveMemoized(p Problem) (Assignment, bool) {
+	if e.Memo == nil {
+		model, ok := Solve(p)
+		if e.Hooks.Solve != nil {
+			e.Hooks.Solve(ok, false)
+		}
+		return model, ok
+	}
+	key := ProblemKey(p)
+	if model, sat, present := e.Memo.Get(key); present {
+		if e.Hooks.Solve != nil {
+			e.Hooks.Solve(sat, true)
+		}
+		return model, sat
+	}
+	model, ok := Solve(p)
+	e.Memo.Put(key, model, ok)
+	if e.Hooks.Solve != nil {
+		e.Hooks.Solve(ok, false)
+	}
+	return model, ok
+}
+
+// ProblemKey digests a finite-domain problem into the 128-bit memo key:
+// each domain's variable and candidate list, then each constraint's
+// canonical rendering, in the problem's (deterministic) order. Solve is
+// a pure function of exactly this rendering, so equal keys mean equal
+// outcomes at fingerprint-grade collision odds.
+func ProblemKey(p Problem) canon.Digest {
+	var b strings.Builder
+	for _, d := range p.Domains {
+		b.WriteString(d.Var)
+		b.WriteByte('=')
+		for _, c := range d.Candidates {
+			fmt.Fprintf(&b, "%d,", c)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('|')
+	for _, c := range p.Constraints {
+		b.WriteString(ExprKey(c))
+		b.WriteByte('\n')
+	}
+	return canon.Hash128(b.String())
 }
 
 func assignmentKey(a Assignment) string {

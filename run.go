@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"github.com/nice-go/nice/internal/concolic"
 	"github.com/nice-go/nice/internal/core"
 	"github.com/nice-go/nice/internal/search"
 )
@@ -32,6 +33,12 @@ type (
 	// Reduction selects an interleaving-reduction layer for the search
 	// (see WithReduction).
 	Reduction = core.Reduction
+	// EngineSpec describes one registered engine (name, summary and
+	// constructor) — the single source of truth the CLI usage text and
+	// the service's strategy validation read.
+	EngineSpec = core.EngineSpec
+	// ReductionSpec describes one reduction layer by name.
+	ReductionSpec = core.ReductionSpec
 )
 
 // Reduction layers for WithReduction.
@@ -55,12 +62,25 @@ const (
 	StopMaxStates      = core.StopMaxStates
 	StopDeadline       = core.StopDeadline
 	StopCanceled       = core.StopCanceled
+	StopSymBudget      = core.StopSymBudget
+)
+
+// Engine registry lookups (single source of truth for CLI and service).
+var (
+	// EngineSpecs lists every registered engine, sorted by name.
+	EngineSpecs = core.EngineSpecs
+	// LookupEngine resolves an engine by (case-insensitive) name.
+	LookupEngine = core.LookupEngine
+	// ReductionSpecs lists the reduction layers by name.
+	ReductionSpecs = core.ReductionSpecs
+	// ParseReduction resolves a reduction by name ("" = none).
+	ParseReduction = core.ParseReduction
 )
 
 // NewCaches builds a fresh discover-cache set for WithCaches.
 func NewCaches() *Caches { return core.NewCaches() }
 
-// The four built-in engines.
+// The five built-in engines.
 var (
 	// SequentialDFS is the paper's default full depth-first search
 	// (Figure 5) — the reference oracle. Run's default engine.
@@ -77,6 +97,14 @@ var (
 	// uses seed+i, so the walk set is worker-count-invariant when
 	// state identity is schedule-independent.
 	SeededSwarm = search.SwarmEngine
+	// ConcolicLoop is the model-checking × symbolic-execution feedback
+	// loop (§3, Fig. 1): solver workers turn path conditions into packet
+	// classes that seed new search frontiers, and novel controller
+	// states enqueue fresh symbolic targets, until fixpoint or budget.
+	// It explores the same state graph as the full searches (identical
+	// violation sets) plus proactive discovery for hosts eager discovery
+	// never reaches — a superset of their packet classes.
+	ConcolicLoop = concolic.Loop
 )
 
 // runSettings collects Run's functional options.
@@ -86,6 +114,7 @@ type runSettings struct {
 	deadline   time.Duration
 	workersSet bool
 	walkMode   bool
+	symMode    bool
 }
 
 // RunOption configures one Run call.
@@ -137,6 +166,23 @@ func WithWalks(seed int64, walks, steps int) RunOption {
 		s.eo.Steps = steps
 		s.walkMode = true
 	}
+}
+
+// WithSymBudget bounds the concolic loop's symbolic-execution budget:
+// the search aborts with StopSymBudget (a partial, replayable report)
+// once n discover explorations have run and a state still demands
+// discovery; proactive feedback targets are dropped instead. n <= 0
+// means unbounded. Unless an engine was chosen explicitly, it selects
+// the ConcolicLoop engine; the eager engines ignore the budget.
+func WithSymBudget(n int64) RunOption {
+	return func(s *runSettings) { s.eo.SymBudget = n; s.symMode = true }
+}
+
+// WithSymWorkers sizes the concolic loop's solver pool (default 2) and,
+// unless an engine was chosen explicitly, selects the ConcolicLoop
+// engine. Composable with WithWorkers, which sizes the search pool.
+func WithSymWorkers(n int) RunOption {
+	return func(s *runSettings) { s.eo.SymWorkers = n; s.symMode = true }
 }
 
 // WithObserver streams violations-as-found and periodic progress
@@ -194,7 +240,9 @@ func WithTelemetry(reg *Telemetry) RunOption {
 //   - WithWorkers(n): ParallelHybrid — the same full search spread
 //     over n workers (n=1 delegates to the sequential checker);
 //   - WithWalks(...): RandomWalks, or SeededSwarm when WithWorkers is
-//     also given.
+//     also given;
+//   - WithSymBudget / WithSymWorkers: ConcolicLoop, the feedback loop
+//     between the state-space search and the symbolic solver.
 //
 // Cancel ctx, set WithDeadline, or exhaust WithMaxStates /
 // WithMaxTransitions and Run returns a partial Report — Complete
@@ -208,6 +256,8 @@ func Run(ctx context.Context, cfg *Config, opts ...RunOption) *Report {
 	engine := s.engine
 	if engine == nil {
 		switch {
+		case s.symMode:
+			engine = ConcolicLoop()
 		case s.walkMode && s.workersSet:
 			engine = SeededSwarm()
 		case s.walkMode:

@@ -23,6 +23,7 @@ func TestStopReasonMatrix(t *testing.T) {
 		"parallel": {nice.WithWorkers(4)},
 		"walks":    {nice.WithWalks(7, 400, 100)},
 		"swarm":    {nice.WithWalks(7, 400, 100), nice.WithWorkers(4)},
+		"concolic": {nice.WithSymWorkers(2), nice.WithWorkers(4)},
 	}
 
 	causes := []struct {
@@ -88,6 +89,11 @@ func TestStopReasonMatrix(t *testing.T) {
 
 	for _, cause := range causes {
 		for engine, eopts := range engines {
+			if cause.name == "deadline" && engine == "concolic" {
+				// Covered separately: the loop can exhaust pingpong's
+				// SE-free space before a deadline this tight fires.
+				continue
+			}
 			t.Run(cause.name+"/"+engine, func(t *testing.T) {
 				ctx := context.Background()
 				if cause.ctx != nil {
@@ -114,5 +120,40 @@ func TestStopReasonMatrix(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestStopSymBudget pins the concolic loop's budget reason: exhausting
+// WithSymBudget while a state still demands symbolic discovery aborts
+// with StopSymBudget, a partial report. The deadline contract is also
+// pinned here (on an SE scenario big enough that the loop cannot finish
+// first), completing the matrix row skipped above.
+func TestStopSymBudget(t *testing.T) {
+	build := func() *nice.Config {
+		cfg := scenarios.MustLookup("pingpong-se").Config(0)
+		cfg.StopAtFirstViolation = false
+		return cfg
+	}
+
+	r := nice.Run(context.Background(), build(),
+		nice.WithSymBudget(1), nice.WithWorkers(2))
+	if r.StopReason != nice.StopSymBudget {
+		t.Errorf("StopReason = %q, want %q", r.StopReason, nice.StopSymBudget)
+	}
+	if r.Complete {
+		t.Error("a budget-stopped search must be partial")
+	}
+
+	// A budget the scenario never exhausts leaves the search complete.
+	full := nice.Run(context.Background(), build(),
+		nice.WithSymBudget(1<<30), nice.WithWorkers(2))
+	if full.StopReason != nice.StopNone || !full.Complete {
+		t.Errorf("unconstrained budget: stop=%q complete=%v", full.StopReason, full.Complete)
+	}
+
+	dl := nice.Run(context.Background(), build(),
+		nice.WithSymWorkers(2), nice.WithDeadline(time.Nanosecond))
+	if dl.StopReason != nice.StopDeadline || dl.Complete {
+		t.Errorf("deadline: stop=%q complete=%v", dl.StopReason, dl.Complete)
 	}
 }
